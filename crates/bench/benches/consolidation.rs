@@ -1,0 +1,187 @@
+//! Criterion benches for the consolidation layer (PERF + ABL2 rows of the
+//! experiment index): Minimum Slack vs FFD packing cost, the ε / step-cap
+//! sensitivity of Algorithm 1, and full PAC / IPAC / pMapper invocations
+//! at growing data-center sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use vdc_consolidate::constraint::AndConstraint;
+use vdc_consolidate::ffd::first_fit_decreasing;
+use vdc_consolidate::ipac::{ipac_plan, IpacConfig};
+use vdc_consolidate::item::{PackItem, PackServer};
+use vdc_consolidate::minslack::{minimum_slack, MinSlackConfig};
+use vdc_consolidate::pac::pac_pack;
+use vdc_consolidate::pmapper::pmapper_plan;
+use vdc_consolidate::policy::AlwaysAllow;
+use vdc_dcsim::{ServerSpec, VmId};
+
+fn make_items(n: usize, seed: u64) -> Vec<PackItem> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            PackItem::new(
+                VmId(i as u64),
+                0.2 + rng.random::<f64>() * 1.8,
+                256.0 + rng.random::<f64>() * 2048.0,
+            )
+        })
+        .collect()
+}
+
+fn make_servers(n: usize, seed: u64) -> Vec<PackServer> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let catalog = ServerSpec::catalog();
+    (0..n)
+        .map(|i| {
+            let spec = &catalog[rng.random_range(0..catalog.len())];
+            PackServer {
+                index: i,
+                cpu_capacity_ghz: spec.max_capacity_ghz(),
+                mem_capacity_mib: spec.memory_mib,
+                max_watts: spec.power.max_watts,
+                idle_watts: spec.power.static_watts,
+                active: false,
+                resident: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// A populated snapshot: items spread round-robin (inefficient placement).
+fn populated(servers: usize, vms: usize, seed: u64) -> Vec<PackServer> {
+    let mut s = make_servers(servers, seed);
+    for item in make_items(vms, seed ^ 0x9E37) {
+        let slot = (item.vm.0 as usize) % s.len();
+        s[slot].resident.push(item);
+        s[slot].active = true;
+    }
+    s
+}
+
+fn bench_minslack_vs_ffd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack_one_server");
+    let constraint = AndConstraint::cpu_and_memory();
+    for n in [20usize, 100, 400] {
+        let items = make_items(n, 42);
+        let server = &make_servers(1, 7)[0];
+        g.bench_with_input(BenchmarkId::new("minimum_slack", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(minimum_slack(
+                    server,
+                    &items,
+                    &constraint,
+                    &MinSlackConfig::default(),
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ffd", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut s = vec![server.clone()];
+                black_box(first_fit_decreasing(&mut s, &items, &constraint))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_minslack_epsilon(c: &mut Criterion) {
+    // ABL2: the allowed-slack ε and the step budget trade solution quality
+    // for search time (lines 4 and 15–17 of Algorithm 1).
+    let mut g = c.benchmark_group("minslack_epsilon");
+    let constraint = AndConstraint::cpu_and_memory();
+    let items = make_items(200, 11);
+    let server = &make_servers(1, 3)[0];
+    for eps in [0.0f64, 0.05, 0.25, 1.0] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps{eps}")),
+            &eps,
+            |bench, &eps| {
+                let cfg = MinSlackConfig {
+                    epsilon_ghz: eps,
+                    ..Default::default()
+                };
+                bench.iter(|| black_box(minimum_slack(server, &items, &constraint, &cfg)))
+            },
+        );
+    }
+    for budget in [500u64, 20_000] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("budget{budget}")),
+            &budget,
+            |bench, &budget| {
+                let cfg = MinSlackConfig {
+                    epsilon_ghz: 0.0,
+                    step_budget: budget,
+                    ..Default::default()
+                };
+                bench.iter(|| black_box(minimum_slack(server, &items, &constraint, &cfg)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_pac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pac_pack");
+    g.sample_size(10);
+    let constraint = AndConstraint::cpu_and_memory();
+    for (servers, vms) in [(50usize, 100usize), (200, 400), (500, 1000)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vms}vms_{servers}srv")),
+            &vms,
+            |bench, _| {
+                let base = make_servers(servers, 3);
+                let items = make_items(vms, 4);
+                bench.iter(|| {
+                    let mut s = base.clone();
+                    black_box(pac_pack(
+                        &mut s,
+                        &items,
+                        &constraint,
+                        &MinSlackConfig::default(),
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_ipac_vs_pmapper(c: &mut Criterion) {
+    let mut g = c.benchmark_group("invocation");
+    g.sample_size(10);
+    let constraint = AndConstraint::cpu_and_memory();
+    for (servers, vms) in [(50usize, 100usize), (200, 400), (500, 1000)] {
+        let snap = populated(servers, vms, 9);
+        g.bench_with_input(
+            BenchmarkId::new("ipac", format!("{vms}vms")),
+            &vms,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(ipac_plan(
+                        &snap,
+                        &[],
+                        &constraint,
+                        &AlwaysAllow,
+                        &IpacConfig::default(),
+                    ))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("pmapper", format!("{vms}vms")),
+            &vms,
+            |bench, _| bench.iter(|| black_box(pmapper_plan(&snap, &[], &constraint))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_minslack_vs_ffd, bench_minslack_epsilon, bench_pac, bench_ipac_vs_pmapper
+}
+criterion_main!(benches);

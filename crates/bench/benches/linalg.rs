@@ -1,0 +1,110 @@
+//! Criterion benches for the dense linear-algebra substrate (PERF row of
+//! the experiment index): factorization and solve costs at the sizes the
+//! MPC controller uses every control period.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vdc_linalg::{eigenvalues, lstsq, BoxQp, Cholesky, Lu, Matrix, Vector};
+
+fn well_conditioned(n: usize) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    let mut state: u64 = 0xC0FFEE;
+    for r in 0..n {
+        for c in 0..n {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            m[(r, c)] = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+        }
+        m[(r, r)] += n as f64;
+    }
+    m
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lu_solve");
+    for n in [8usize, 16, 32] {
+        let a = well_conditioned(n);
+        let b: Vector = (0..n).map(|i| i as f64).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let lu = Lu::new(black_box(&a)).unwrap();
+                black_box(lu.solve(&b).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lstsq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qr_lstsq");
+    for (rows, cols) in [(60usize, 6usize), (200, 8), (400, 12)] {
+        let mut a = Matrix::zeros(rows, cols);
+        let mut state: u64 = 1;
+        for r in 0..rows {
+            for col in 0..cols {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                a[(r, col)] = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            }
+        }
+        let b: Vector = (0..rows).map(|i| (i % 7) as f64).collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &rows,
+            |bench, _| bench.iter(|| black_box(lstsq(&a, &b).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cholesky_solve");
+    for n in [6usize, 12, 24] {
+        let a = well_conditioned(n);
+        let spd = a.gram();
+        let b: Vector = (0..n).map(|i| i as f64).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let ch = Cholesky::new(black_box(&spd)).unwrap();
+                black_box(ch.solve(&b).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_eigenvalues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eigenvalues");
+    for n in [3usize, 6, 10] {
+        let mut a = well_conditioned(n);
+        // Spread the spectrum: clustered eigenvalues are a root-finding
+        // stress case, not a representative timing case.
+        for i in 0..n {
+            a[(i, i)] += 2.0 * i as f64;
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(eigenvalues(&a).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_box_qp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("box_qp");
+    for n in [6usize, 12] {
+        let h = well_conditioned(n).gram();
+        let f: Vector = (0..n).map(|i| -(i as f64) - 1.0).collect();
+        let qp = BoxQp::new(h, f, vec![-0.2; n], vec![0.2; n]).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(qp.solve().unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_lu, bench_lstsq, bench_cholesky, bench_eigenvalues, bench_box_qp
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion benches for the control layer: the cost of one MPC control
+//! step (the per-period overhead every application controller pays) and of
+//! batch/recursive system identification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vdc_control::sysid::{fit_arx, ExperimentData, Prbs, RecursiveLeastSquares};
+use vdc_control::{ArxModel, MpcConfig, MpcController, ReferenceTrajectory};
+
+fn model_with_inputs(m: usize) -> ArxModel {
+    let b1: Vec<f64> = (0..m).map(|i| -150.0 - 10.0 * i as f64).collect();
+    let b2: Vec<f64> = (0..m).map(|i| -50.0 - 5.0 * i as f64).collect();
+    ArxModel::new(vec![0.45], vec![b1, b2], 1400.0).unwrap()
+}
+
+fn controller(m: usize, horizon: (usize, usize)) -> MpcController {
+    let reference = ReferenceTrajectory::new(4.0, 12.0).unwrap();
+    let cfg = MpcConfig {
+        prediction_horizon: horizon.0,
+        control_horizon: horizon.1,
+        q_weight: 1.0,
+        r_weight: vec![4e4; m],
+        reference,
+        setpoint: 1000.0,
+        c_min: vec![0.3; m],
+        c_max: vec![3.0; m],
+        delta_max: Some(0.3),
+        terminal_constraint: true,
+    };
+    MpcController::new(model_with_inputs(m), cfg, &vec![1.0; m]).unwrap()
+}
+
+fn bench_mpc_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpc_step");
+    for (m, p, mh) in [(2usize, 10usize, 3usize), (3, 10, 3), (4, 16, 4)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("tiers{m}_P{p}_M{mh}")),
+            &m,
+            |bench, _| {
+                let mut ctrl = controller(m, (p, mh));
+                let mut t = 1800.0;
+                bench.iter(|| {
+                    let step = ctrl.step(black_box(t)).unwrap();
+                    // Keep the measurement wandering so the solve stays hot.
+                    t = 900.0 + (t * 1.3) % 600.0;
+                    black_box(step)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_mpc_step_saturated(c: &mut Criterion) {
+    // Force the box-QP fallback path by demanding an unreachable set point.
+    let mut g = c.benchmark_group("mpc_step_saturated");
+    g.bench_function("tiers2_P10_M3", |bench| {
+        let mut ctrl = controller(2, (10, 3));
+        ctrl.set_setpoint(1.0);
+        bench.iter(|| black_box(ctrl.step(black_box(2500.0)).unwrap()))
+    });
+    g.finish();
+}
+
+fn ident_data(n: usize) -> ExperimentData {
+    let model = model_with_inputs(2);
+    let mut p1 = Prbs::new(0.6, 1.4, 3, 0xACE1);
+    let mut p2 = Prbs::new(0.5, 1.2, 4, 0xBEEF);
+    let mut data = ExperimentData::new();
+    let mut t_hist = vec![800.0];
+    let mut c_hist = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+    for _ in 0..n {
+        let c = vec![p1.next_level(), p2.next_level()];
+        c_hist.rotate_right(1);
+        c_hist[0] = c.clone();
+        let t = model.predict(&t_hist, &c_hist).unwrap();
+        t_hist[0] = t;
+        data.push(c, t);
+    }
+    data
+}
+
+fn bench_sysid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sysid");
+    for n in [200usize, 1000] {
+        let data = ident_data(n);
+        g.bench_with_input(BenchmarkId::new("fit_arx", n), &n, |bench, _| {
+            bench.iter(|| black_box(fit_arx(&data, 1, 2).unwrap()))
+        });
+    }
+    let data = ident_data(500);
+    g.bench_function("rls_500_updates", |bench| {
+        bench.iter(|| {
+            let mut rls = RecursiveLeastSquares::new(1, 2, 2, 0.98, 1e6).unwrap();
+            for (c, &t) in data.inputs().iter().zip(data.outputs()) {
+                rls.observe(c, t).unwrap();
+            }
+            black_box(rls.model().unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_mpc_step, bench_mpc_step_saturated, bench_sysid
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! A week in profile: hourly power, active-server, and migration series of
+//! the large-scale data center under IPAC — the "behind the scenes" of one
+//! Fig. 6 point. Useful for sanity-checking the diurnal response of the
+//! two-level scheme (consolidation at night, DVFS through the day).
+//!
+//! ```text
+//! cargo run -p vdc-bench --bin week_profile --release [--vms 1030] [--quick]
+//! ```
+
+use vdc_bench::{arg_num, arg_present, figure_header, rule};
+use vdc_core::largescale::{run_large_scale_with_series, LargeScaleConfig, OptimizerKind};
+use vdc_trace::{generate_trace, TraceConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = arg_present(&args, "--quick");
+    let n_vms = arg_num(&args, "--vms", if quick { 200 } else { 1030 });
+    let seed = arg_num(&args, "--seed", 5415u64);
+
+    let trace_cfg = if quick {
+        TraceConfig {
+            n_vms,
+            n_samples: 96,
+            interval_s: 900.0,
+            seed,
+        }
+    } else {
+        TraceConfig {
+            n_vms,
+            ..TraceConfig::paper_scale(seed)
+        }
+    };
+    figure_header(
+        "Week profile",
+        "hourly cluster power / active servers / migrations under IPAC",
+    );
+    let trace = generate_trace(&trace_cfg);
+    let (result, series) =
+        run_large_scale_with_series(&trace, &LargeScaleConfig::new(n_vms, OptimizerKind::Ipac))
+            .expect("run failed");
+
+    rule(76);
+    println!(
+        "{:>6} {:>5} {:>12} {:>12} {:>12} {:>12}",
+        "day", "hour", "power (W)", "active srv", "migrations", "unmet %"
+    );
+    rule(76);
+    // Print every 4 hours.
+    let per_hour = (3600.0 / trace.interval_s()).round() as usize;
+    for s in series.iter().step_by(4 * per_hour.max(1)) {
+        let hours = s.t_s / 3600.0;
+        println!(
+            "{:>6} {:>5} {:>12.1} {:>12} {:>12} {:>11.3}%",
+            (hours / 24.0) as u64 + 1,
+            (hours % 24.0) as u64,
+            s.power_w,
+            s.active_servers,
+            s.migrations_so_far,
+            100.0 * s.unmet_fraction
+        );
+    }
+    rule(76);
+    println!(
+        "totals: {:.1} Wh/VM over {:.0} h | {} migrations ({} from overload relief)",
+        result.energy_per_vm_wh,
+        trace.duration_s() / 3600.0,
+        result.migrations,
+        result.relief_migrations
+    );
+    println!(
+        "SLA: {:.4} % of demanded CPU cycles went unserved; wake transitions cost {:.1} Wh",
+        100.0 * result.sla_violation_fraction,
+        result.wake_energy_wh
+    );
+}

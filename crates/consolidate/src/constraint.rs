@@ -1,0 +1,169 @@
+//! Generalized packing constraints.
+//!
+//! Algorithm 1 extends the MBS heuristic "by evaluating a more general
+//! constraint in each step, instead of checking if the total size of the
+//! items exceeds the size of the bin" — administrators can add their own
+//! feasibility rules (the paper's §VII-B example is a memory-size
+//! restriction). A [`Constraint`] decides whether a server can host a
+//! candidate item set on top of its residents.
+
+use crate::item::{PackItem, PackServer};
+
+/// A feasibility rule for placing `candidates` on `server` (in addition to
+/// the server's residents).
+pub trait Constraint {
+    /// `true` iff the placement is admissible.
+    fn admits(&self, server: &PackServer, candidates: &[PackItem]) -> bool;
+}
+
+/// CPU capacity constraint with an optional utilization cap.
+///
+/// `utilization_cap = 1.0` allows filling the server completely; `0.9`
+/// keeps 10 % of capacity free for transient growth.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuConstraint {
+    /// Fraction of total capacity that may be allocated, in `(0, 1]`.
+    pub utilization_cap: f64,
+}
+
+impl Default for CpuConstraint {
+    fn default() -> Self {
+        CpuConstraint {
+            utilization_cap: 1.0,
+        }
+    }
+}
+
+impl Constraint for CpuConstraint {
+    fn admits(&self, server: &PackServer, candidates: &[PackItem]) -> bool {
+        let extra: f64 = candidates.iter().map(|i| i.cpu_ghz).sum();
+        server.resident_cpu() + extra
+            <= server.cpu_capacity_ghz * self.utilization_cap.clamp(0.0, 1.0) + 1e-9
+    }
+}
+
+/// Memory capacity constraint (the §VII-B administrator example: "the
+/// memory size of every server should be greater than the total memory
+/// allocations of the hosted VMs").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoryConstraint;
+
+impl Constraint for MemoryConstraint {
+    fn admits(&self, server: &PackServer, candidates: &[PackItem]) -> bool {
+        let extra: f64 = candidates.iter().map(|i| i.mem_mib).sum();
+        server.resident_mem() + extra <= server.mem_capacity_mib + 1e-9
+    }
+}
+
+/// Conjunction of constraints.
+pub struct AndConstraint {
+    parts: Vec<Box<dyn Constraint + Send + Sync>>,
+}
+
+impl AndConstraint {
+    /// Build from boxed parts.
+    pub fn new(parts: Vec<Box<dyn Constraint + Send + Sync>>) -> AndConstraint {
+        AndConstraint { parts }
+    }
+
+    /// The standard rule set: CPU (full utilization) + memory.
+    pub fn cpu_and_memory() -> AndConstraint {
+        AndConstraint::new(vec![
+            Box::new(CpuConstraint::default()),
+            Box::new(MemoryConstraint),
+        ])
+    }
+}
+
+impl Constraint for AndConstraint {
+    fn admits(&self, server: &PackServer, candidates: &[PackItem]) -> bool {
+        self.parts.iter().all(|c| c.admits(server, candidates))
+    }
+}
+
+/// Closure adapter so administrators can write ad-hoc rules.
+pub struct FnConstraint<F>(pub F);
+
+impl<F> Constraint for FnConstraint<F>
+where
+    F: Fn(&PackServer, &[PackItem]) -> bool,
+{
+    fn admits(&self, server: &PackServer, candidates: &[PackItem]) -> bool {
+        (self.0)(server, candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdc_dcsim::VmId;
+
+    fn server() -> PackServer {
+        PackServer {
+            index: 0,
+            cpu_capacity_ghz: 4.0,
+            mem_capacity_mib: 4096.0,
+            max_watts: 200.0,
+            idle_watts: 120.0,
+            active: true,
+            resident: vec![PackItem::new(VmId(1), 1.0, 1024.0)],
+        }
+    }
+
+    fn item(cpu: f64, mem: f64) -> PackItem {
+        PackItem::new(VmId(99), cpu, mem)
+    }
+
+    #[test]
+    fn cpu_constraint_respects_residents() {
+        let c = CpuConstraint::default();
+        assert!(c.admits(&server(), &[item(3.0, 0.0)]));
+        assert!(!c.admits(&server(), &[item(3.1, 0.0)]));
+        assert!(c.admits(&server(), &[]));
+    }
+
+    #[test]
+    fn cpu_utilization_cap() {
+        let c = CpuConstraint {
+            utilization_cap: 0.5,
+        };
+        // Cap = 2.0 GHz total; resident already uses 1.0.
+        assert!(c.admits(&server(), &[item(1.0, 0.0)]));
+        assert!(!c.admits(&server(), &[item(1.1, 0.0)]));
+    }
+
+    #[test]
+    fn memory_constraint() {
+        let c = MemoryConstraint;
+        assert!(c.admits(&server(), &[item(0.0, 3072.0)]));
+        assert!(!c.admits(&server(), &[item(0.0, 3073.0)]));
+    }
+
+    #[test]
+    fn and_constraint_needs_all() {
+        let c = AndConstraint::cpu_and_memory();
+        assert!(c.admits(&server(), &[item(3.0, 3072.0)]));
+        assert!(!c.admits(&server(), &[item(3.1, 100.0)])); // CPU fails
+        assert!(!c.admits(&server(), &[item(0.1, 4000.0)])); // memory fails
+    }
+
+    #[test]
+    fn fn_constraint_custom_rule() {
+        // Administrator rule: at most 2 candidate VMs per placement.
+        let c = FnConstraint(|_: &PackServer, cands: &[PackItem]| cands.len() <= 2);
+        assert!(c.admits(&server(), &[item(0.1, 0.1), item(0.1, 0.1)]));
+        assert!(!c.admits(
+            &server(),
+            &[item(0.1, 0.1), item(0.1, 0.1), item(0.1, 0.1)]
+        ));
+    }
+
+    #[test]
+    fn multiple_candidates_summed() {
+        let c = CpuConstraint::default();
+        let ok = [item(1.5, 0.0), item(1.5, 0.0)];
+        assert!(c.admits(&server(), &ok));
+        let over = [item(1.6, 0.0), item(1.5, 0.0)];
+        assert!(!c.admits(&server(), &over));
+    }
+}

@@ -1,0 +1,123 @@
+//! Packing inputs: items (VMs) and bins (servers).
+
+use vdc_dcsim::VmId;
+
+/// A VM as a packing item: its identity and the two packed resources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackItem {
+    /// Which VM this is.
+    pub vm: VmId,
+    /// CPU demand in GHz.
+    pub cpu_ghz: f64,
+    /// Memory footprint in MiB.
+    pub mem_mib: f64,
+}
+
+impl PackItem {
+    /// Construct an item (demands floored at zero).
+    pub fn new(vm: VmId, cpu_ghz: f64, mem_mib: f64) -> PackItem {
+        PackItem {
+            vm,
+            cpu_ghz: cpu_ghz.max(0.0),
+            mem_mib: mem_mib.max(0.0),
+        }
+    }
+}
+
+/// A server as a packing bin.
+///
+/// `resident` holds items already on the server that are *not* candidates
+/// for repacking this round (Algorithm 1 explicitly allows a server that is
+/// "not necessarily empty"); their demands count against capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackServer {
+    /// Index of this server in the owning data center.
+    pub index: usize,
+    /// Total CPU capacity at maximum frequency (GHz).
+    pub cpu_capacity_ghz: f64,
+    /// Total memory (MiB).
+    pub mem_capacity_mib: f64,
+    /// Maximum power draw (watts) — the denominator of power efficiency.
+    pub max_watts: f64,
+    /// Idle (static) power draw when active (watts) — the saving realized
+    /// when consolidation empties the server and puts it to sleep.
+    pub idle_watts: f64,
+    /// Whether the server is currently active (drives wake accounting).
+    pub active: bool,
+    /// Items already resident and not being repacked.
+    pub resident: Vec<PackItem>,
+}
+
+impl PackServer {
+    /// Power efficiency: capacity per watt (§V). Higher is better.
+    pub fn power_efficiency(&self) -> f64 {
+        if self.max_watts <= 0.0 {
+            return 0.0;
+        }
+        self.cpu_capacity_ghz / self.max_watts
+    }
+
+    /// CPU already used by residents (GHz).
+    pub fn resident_cpu(&self) -> f64 {
+        self.resident.iter().map(|i| i.cpu_ghz).sum()
+    }
+
+    /// Memory already used by residents (MiB).
+    pub fn resident_mem(&self) -> f64 {
+        self.resident.iter().map(|i| i.mem_mib).sum()
+    }
+
+    /// Unallocated CPU given an additional candidate set (GHz; may be
+    /// negative if infeasible).
+    pub fn slack_with(&self, candidates: &[PackItem]) -> f64 {
+        let extra: f64 = candidates.iter().map(|i| i.cpu_ghz).sum();
+        self.cpu_capacity_ghz - self.resident_cpu() - extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> PackServer {
+        PackServer {
+            index: 0,
+            cpu_capacity_ghz: 4.0,
+            mem_capacity_mib: 8192.0,
+            max_watts: 200.0,
+            idle_watts: 120.0,
+            active: true,
+            resident: vec![PackItem::new(VmId(1), 1.0, 1024.0)],
+        }
+    }
+
+    #[test]
+    fn item_clamps_negatives() {
+        let i = PackItem::new(VmId(1), -1.0, -5.0);
+        assert_eq!(i.cpu_ghz, 0.0);
+        assert_eq!(i.mem_mib, 0.0);
+    }
+
+    #[test]
+    fn efficiency_and_residents() {
+        let s = server();
+        assert!((s.power_efficiency() - 0.02).abs() < 1e-12);
+        assert_eq!(s.resident_cpu(), 1.0);
+        assert_eq!(s.resident_mem(), 1024.0);
+        let degenerate = PackServer {
+            max_watts: 0.0,
+            ..server()
+        };
+        assert_eq!(degenerate.power_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn slack_accounts_for_residents_and_candidates() {
+        let s = server();
+        assert_eq!(s.slack_with(&[]), 3.0);
+        let c = [PackItem::new(VmId(2), 2.0, 0.0)];
+        assert_eq!(s.slack_with(&c), 1.0);
+        let too_big = [PackItem::new(VmId(3), 5.0, 0.0)];
+        assert!(s.slack_with(&too_big) < 0.0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Algorithm 1: Minimum Slack — pick the VM subset that leaves the least
+//! unallocated CPU on one server.
+//!
+//! This is the paper's extension of the Minimum Bin Slack heuristic of
+//! Fleszar & Hindi \[4\]: a depth-first branch-and-bound over subsets of the
+//! unallocated list, where feasibility is an arbitrary [`Constraint`]
+//! rather than a plain size check. Two pragmatic devices from Algorithm 1
+//! are implemented faithfully:
+//!
+//! * **allowed slack `ε`** (line 4): the search stops as soon as a subset
+//!   leaves less than `ε` of CPU unallocated — a perfect fill is not worth
+//!   exponential time;
+//! * **step budget** (lines 15–17): if the search exceeds its step budget,
+//!   `ε` is increased by one step, making the early exit progressively
+//!   easier until the search terminates.
+
+use crate::constraint::Constraint;
+use crate::item::{PackItem, PackServer};
+
+/// Tuning knobs for the Minimum Slack search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinSlackConfig {
+    /// Initial allowed slack ε (GHz).
+    pub epsilon_ghz: f64,
+    /// Increment applied to ε each time the step budget is exhausted
+    /// (line 16 of Algorithm 1).
+    pub epsilon_step_ghz: f64,
+    /// Constraint evaluations allowed between ε relaxations.
+    pub step_budget: u64,
+    /// Hard cap on relaxations; after this many the best subset found so
+    /// far is returned regardless of slack.
+    pub max_relaxations: u32,
+}
+
+impl Default for MinSlackConfig {
+    fn default() -> Self {
+        MinSlackConfig {
+            epsilon_ghz: 0.05,
+            epsilon_step_ghz: 0.1,
+            step_budget: 20_000,
+            max_relaxations: 16,
+        }
+    }
+}
+
+/// Outcome of one Minimum Slack search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinSlackResult {
+    /// Indices into the *input* list `q` of the chosen VMs.
+    pub chosen: Vec<usize>,
+    /// Remaining unallocated CPU on the server with the chosen set (GHz).
+    pub slack_ghz: f64,
+    /// Constraint evaluations performed.
+    pub steps: u64,
+    /// Number of ε relaxations taken.
+    pub relaxations: u32,
+}
+
+struct SearchState<'a> {
+    server: &'a PackServer,
+    constraint: &'a dyn Constraint,
+    sorted: Vec<usize>,
+    items: &'a [PackItem],
+    /// Suffix sums of CPU over `sorted` for bound pruning.
+    suffix_cpu: Vec<f64>,
+    stack: Vec<PackItem>,
+    stack_idx: Vec<usize>,
+    best: Vec<usize>,
+    best_cpu: f64,
+    steps: u64,
+    epsilon: f64,
+    relaxations: u32,
+    cfg: MinSlackConfig,
+    done: bool,
+}
+
+impl SearchState<'_> {
+    fn current_cpu(&self) -> f64 {
+        self.stack.iter().map(|i| i.cpu_ghz).sum()
+    }
+
+    fn target_cpu(&self) -> f64 {
+        self.server.cpu_capacity_ghz - self.server.resident_cpu()
+    }
+
+    fn dfs(&mut self, pos: usize) {
+        if self.done {
+            return;
+        }
+        let chosen_cpu = self.current_cpu();
+        if chosen_cpu > self.best_cpu {
+            self.best_cpu = chosen_cpu;
+            self.best = self.stack_idx.clone();
+        }
+        // Early exit: slack below ε (line 4/5 of Algorithm 1).
+        if self.target_cpu() - self.best_cpu <= self.epsilon {
+            self.done = true;
+            return;
+        }
+        // Bound: even taking every remaining item cannot beat the best.
+        if pos < self.suffix_cpu.len()
+            && chosen_cpu + self.suffix_cpu[pos] <= self.best_cpu
+        {
+            return;
+        }
+        for i in pos..self.sorted.len() {
+            let item = self.items[self.sorted[i]];
+            // Quick reject: obviously over CPU (cheap pre-filter before the
+            // general constraint).
+            if chosen_cpu + item.cpu_ghz > self.target_cpu() + 1e-9 {
+                continue;
+            }
+            self.stack.push(item);
+            self.stack_idx.push(self.sorted[i]);
+            self.steps += 1;
+            if self.steps.is_multiple_of(self.cfg.step_budget) {
+                // Line 15–17: the search is taking too long — relax ε.
+                self.relaxations += 1;
+                if self.relaxations > self.cfg.max_relaxations {
+                    self.done = true;
+                } else {
+                    self.epsilon += self.cfg.epsilon_step_ghz;
+                }
+            }
+            let admitted = self
+                .constraint
+                .admits(self.server, &self.stack);
+            if admitted {
+                self.dfs(i + 1);
+            }
+            self.stack.pop();
+            self.stack_idx.pop();
+            if self.done {
+                return;
+            }
+        }
+    }
+}
+
+/// Run Algorithm 1: select from `q` the subset that best fills `server`
+/// under `constraint`.
+///
+/// Items in `q` with zero CPU demand still participate (they may consume
+/// other resources); an empty `q` or an already-full server returns an
+/// empty selection.
+///
+/// # Examples
+///
+/// ```
+/// use vdc_consolidate::{minimum_slack, CpuConstraint, MinSlackConfig, PackItem, PackServer};
+/// use vdc_dcsim::VmId;
+///
+/// let server = PackServer {
+///     index: 0, cpu_capacity_ghz: 4.0, mem_capacity_mib: 8192.0,
+///     max_watts: 200.0, idle_watts: 120.0, active: true, resident: vec![],
+/// };
+/// // Greedy-decreasing would take 3.0 then be stuck; {2.5, 1.5} is exact.
+/// let q = vec![
+///     PackItem::new(VmId(0), 3.0, 100.0),
+///     PackItem::new(VmId(1), 2.5, 100.0),
+///     PackItem::new(VmId(2), 1.5, 100.0),
+/// ];
+/// let res = minimum_slack(&server, &q, &CpuConstraint::default(),
+///                         &MinSlackConfig { epsilon_ghz: 0.0, ..Default::default() });
+/// assert!(res.slack_ghz.abs() < 1e-9);
+/// ```
+pub fn minimum_slack(
+    server: &PackServer,
+    q: &[PackItem],
+    constraint: &dyn Constraint,
+    cfg: &MinSlackConfig,
+) -> MinSlackResult {
+    // Largest-first ordering makes the greedy first descent strong and the
+    // suffix bound tight (the MBS paper sorts decreasing as well).
+    let mut sorted: Vec<usize> = (0..q.len()).collect();
+    sorted.sort_by(|&a, &b| {
+        q[b].cpu_ghz
+            .partial_cmp(&q[a].cpu_ghz)
+            .expect("finite demands")
+            .then(a.cmp(&b))
+    });
+    let mut suffix_cpu = vec![0.0; sorted.len() + 1];
+    for i in (0..sorted.len()).rev() {
+        suffix_cpu[i] = suffix_cpu[i + 1] + q[sorted[i]].cpu_ghz;
+    }
+    let mut st = SearchState {
+        server,
+        constraint,
+        sorted,
+        items: q,
+        suffix_cpu,
+        stack: Vec::new(),
+        stack_idx: Vec::new(),
+        best: Vec::new(),
+        best_cpu: 0.0,
+        steps: 0,
+        epsilon: cfg.epsilon_ghz.max(0.0),
+        relaxations: 0,
+        cfg: *cfg,
+        done: false,
+    };
+    st.dfs(0);
+    let slack = st.target_cpu() - st.best_cpu;
+    MinSlackResult {
+        chosen: st.best,
+        slack_ghz: slack,
+        steps: st.steps,
+        relaxations: st.relaxations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{AndConstraint, CpuConstraint, FnConstraint};
+    use vdc_dcsim::VmId;
+
+    fn server(cpu: f64, mem: f64) -> PackServer {
+        PackServer {
+            index: 0,
+            cpu_capacity_ghz: cpu,
+            mem_capacity_mib: mem,
+            max_watts: 200.0,
+            idle_watts: 120.0,
+            active: true,
+            resident: Vec::new(),
+        }
+    }
+
+    fn items(cpus: &[f64]) -> Vec<PackItem> {
+        cpus.iter()
+            .enumerate()
+            .map(|(i, &c)| PackItem::new(VmId(i as u64), c, 100.0))
+            .collect()
+    }
+
+    fn chosen_cpu(q: &[PackItem], r: &MinSlackResult) -> f64 {
+        r.chosen.iter().map(|&i| q[i].cpu_ghz).sum()
+    }
+
+    #[test]
+    fn empty_list_and_full_server() {
+        let s = server(4.0, 8192.0);
+        let c = CpuConstraint::default();
+        let r = minimum_slack(&s, &[], &c, &MinSlackConfig::default());
+        assert!(r.chosen.is_empty());
+        assert_eq!(r.slack_ghz, 4.0);
+
+        let mut full = server(4.0, 8192.0);
+        full.resident = items(&[4.0]);
+        let q = items(&[1.0]);
+        let r = minimum_slack(&full, &q, &c, &MinSlackConfig::default());
+        assert!(r.chosen.is_empty());
+        assert!(r.slack_ghz.abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_fill_found() {
+        // Capacity 4.0; items 2.5, 1.5, 1.0, 3.0 — best = {2.5, 1.5} or {3.0, 1.0}.
+        let s = server(4.0, 8192.0);
+        let q = items(&[2.5, 1.5, 1.0, 3.0]);
+        let c = CpuConstraint::default();
+        let r = minimum_slack(&s, &q, &c, &MinSlackConfig::default());
+        assert!(r.slack_ghz.abs() < 1e-9, "slack {}", r.slack_ghz);
+        assert!((chosen_cpu(&q, &r) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beats_greedy_first_fit() {
+        // Capacity 10; decreasing greedy takes 6 then 3 (slack 1), but
+        // {6, 4} is exact.
+        let s = server(10.0, 8192.0);
+        let q = items(&[6.0, 3.0, 4.0]);
+        let c = CpuConstraint::default();
+        let r = minimum_slack(
+            &s,
+            &q,
+            &c,
+            &MinSlackConfig {
+                epsilon_ghz: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(r.slack_ghz.abs() < 1e-9);
+        let mut ids: Vec<u64> = r.chosen.iter().map(|&i| q[i].vm.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn respects_residents() {
+        let mut s = server(4.0, 8192.0);
+        s.resident = items(&[2.0]);
+        let q = vec![
+            PackItem::new(VmId(10), 1.5, 100.0),
+            PackItem::new(VmId(11), 2.5, 100.0),
+        ];
+        let c = CpuConstraint::default();
+        let r = minimum_slack(&s, &q, &c, &MinSlackConfig::default());
+        // Only 2.0 GHz of headroom: 1.5 fits, 2.5 does not.
+        assert_eq!(r.chosen, vec![0]);
+        assert!((r.slack_ghz - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_early_exit_reduces_steps() {
+        // Many combinable items: with a large ε the search stops almost
+        // immediately; with ε = 0 it keeps optimizing.
+        let s = server(10.0, 1e9);
+        let q = items(&[3.3, 3.3, 3.3, 1.1, 1.1, 1.1, 2.2, 2.2, 0.9, 0.8]);
+        let c = CpuConstraint::default();
+        let tight = minimum_slack(
+            &s,
+            &q,
+            &c,
+            &MinSlackConfig {
+                epsilon_ghz: 0.0,
+                ..Default::default()
+            },
+        );
+        let loose = minimum_slack(
+            &s,
+            &q,
+            &c,
+            &MinSlackConfig {
+                epsilon_ghz: 1.0,
+                ..Default::default()
+            },
+        );
+        assert!(loose.steps <= tight.steps);
+        assert!(loose.slack_ghz <= 1.0 + 1e-9);
+        assert!(tight.slack_ghz <= loose.slack_ghz + 1e-9);
+    }
+
+    #[test]
+    fn step_budget_relaxes_epsilon_and_terminates() {
+        // 24 equal awkward items force a big search space; a tiny budget
+        // must still terminate via relaxations.
+        let s = server(10.0, 1e9);
+        let q = items(&[0.7; 24]);
+        let c = CpuConstraint::default();
+        let r = minimum_slack(
+            &s,
+            &q,
+            &c,
+            &MinSlackConfig {
+                epsilon_ghz: 0.0,
+                epsilon_step_ghz: 0.05,
+                step_budget: 50,
+                max_relaxations: 8,
+            },
+        );
+        assert!(r.relaxations >= 1);
+        // 14 items of 0.7 = 9.8 is the best possible; the relaxed search
+        // must still produce something decent.
+        assert!(r.slack_ghz < 10.0);
+        assert!(!r.chosen.is_empty());
+    }
+
+    #[test]
+    fn general_constraint_limits_count() {
+        // Administrator constraint: at most 2 VMs per server.
+        let s = server(10.0, 1e9);
+        let q = items(&[1.0, 1.0, 1.0, 1.0]);
+        let c = AndConstraint::new(vec![
+            Box::new(CpuConstraint::default()),
+            Box::new(FnConstraint(
+                |s: &PackServer, cand: &[PackItem]| s.resident.len() + cand.len() <= 2,
+            )),
+        ]);
+        let r = minimum_slack(&s, &q, &c, &MinSlackConfig::default());
+        assert_eq!(r.chosen.len(), 2);
+    }
+
+    #[test]
+    fn zero_cpu_items_admitted() {
+        let s = server(4.0, 8192.0);
+        let q = vec![PackItem::new(VmId(0), 0.0, 10.0), PackItem::new(VmId(1), 4.0, 10.0)];
+        let c = CpuConstraint::default();
+        let r = minimum_slack(&s, &q, &c, &MinSlackConfig::default());
+        // The 4.0 item gives slack 0 and triggers early exit; the zero-CPU
+        // item contributes nothing to slack so either way slack == 0.
+        assert!(r.slack_ghz.abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_equal_inputs() {
+        let s = server(7.0, 1e9);
+        let q = items(&[2.0, 2.0, 3.0, 3.0, 1.0]);
+        let c = CpuConstraint::default();
+        let a = minimum_slack(&s, &q, &c, &MinSlackConfig::default());
+        let b = minimum_slack(&s, &q, &c, &MinSlackConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,94 @@
+//! Consolidation plans: the output of PAC / IPAC / pMapper.
+
+use vdc_dcsim::VmId;
+
+/// One planned VM relocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Move {
+    /// The VM to move.
+    pub vm: VmId,
+    /// Source server index (`None` for a VM that was unplaced).
+    pub from: Option<usize>,
+    /// Destination server index.
+    pub to: usize,
+    /// CPU demand of the VM (GHz), carried for cost policies.
+    pub cpu_ghz: f64,
+    /// Memory of the VM (MiB), carried for cost policies.
+    pub mem_mib: f64,
+}
+
+/// A full consolidation plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConsolidationPlan {
+    /// Relocations to perform (order matters: destinations were validated
+    /// under the assumption that earlier moves have happened).
+    pub moves: Vec<Move>,
+    /// Servers that end the plan empty and should be put to sleep.
+    pub servers_to_sleep: Vec<usize>,
+    /// Sleeping servers that receive VMs and must be woken.
+    pub servers_to_wake: Vec<usize>,
+}
+
+impl ConsolidationPlan {
+    /// Whether the plan does anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+            && self.servers_to_sleep.is_empty()
+            && self.servers_to_wake.is_empty()
+    }
+
+    /// Total memory to be copied by the planned migrations (MiB) — the
+    /// dominant migration cost (§V: bandwidth consumption).
+    pub fn total_migration_mib(&self) -> f64 {
+        self.moves
+            .iter()
+            .filter(|m| m.from.is_some())
+            .map(|m| m.mem_mib)
+            .sum()
+    }
+
+    /// Number of true migrations (moves of already-placed VMs).
+    pub fn n_migrations(&self) -> usize {
+        self.moves.iter().filter(|m| m.from.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan() {
+        let p = ConsolidationPlan::default();
+        assert!(p.is_empty());
+        assert_eq!(p.total_migration_mib(), 0.0);
+        assert_eq!(p.n_migrations(), 0);
+    }
+
+    #[test]
+    fn cost_counts_only_real_migrations() {
+        let p = ConsolidationPlan {
+            moves: vec![
+                Move {
+                    vm: VmId(1),
+                    from: Some(0),
+                    to: 1,
+                    cpu_ghz: 1.0,
+                    mem_mib: 2048.0,
+                },
+                Move {
+                    vm: VmId(2),
+                    from: None, // initial placement, no copy over the wire
+                    to: 1,
+                    cpu_ghz: 1.0,
+                    mem_mib: 512.0,
+                },
+            ],
+            servers_to_sleep: vec![0],
+            servers_to_wake: vec![],
+        };
+        assert!(!p.is_empty());
+        assert_eq!(p.n_migrations(), 1);
+        assert_eq!(p.total_migration_mib(), 2048.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Bridging between [`vdc_dcsim::DataCenter`] state and the packing layer.
+//!
+//! The consolidation algorithms work on [`PackServer`] snapshots; this
+//! module builds those snapshots from live data-center state and executes
+//! the resulting [`ConsolidationPlan`] (wake → migrate/place → sleep, in
+//! dependency order).
+
+use crate::item::{PackItem, PackServer};
+use crate::plan::ConsolidationPlan;
+use vdc_dcsim::{DataCenter, DcError};
+
+/// Snapshot every server of the data center as a [`PackServer`], with its
+/// currently hosted VMs as residents.
+pub fn snapshot(dc: &DataCenter) -> Vec<PackServer> {
+    (0..dc.n_servers())
+        .map(|i| {
+            let server = dc.server(i).expect("index in range");
+            let resident = dc
+                .hosted_vms(i)
+                .expect("index in range")
+                .iter()
+                .map(|&vm| {
+                    let spec = dc.vm(vm).expect("hosted VM is registered");
+                    PackItem::new(vm, spec.cpu_demand_ghz, spec.memory_mib)
+                })
+                .collect();
+            PackServer {
+                index: i,
+                cpu_capacity_ghz: server.spec.max_capacity_ghz(),
+                mem_capacity_mib: server.spec.memory_mib,
+                max_watts: server.spec.power.max_watts,
+                idle_watts: server.spec.power.static_watts,
+                active: server.is_active(),
+                resident,
+            }
+        })
+        .collect()
+}
+
+/// Statistics of one plan application.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ApplyStats {
+    /// Live migrations executed.
+    pub migrations: usize,
+    /// Initial placements executed.
+    pub placements: usize,
+    /// Servers put to sleep.
+    pub slept: usize,
+    /// Servers woken (explicitly or implicitly by placement).
+    pub woken: usize,
+    /// Total memory copied by migrations (MiB).
+    pub migrated_mib: f64,
+}
+
+/// Execute a consolidation plan on the data center.
+///
+/// Ordering: wakes first (targets must be active), then moves, then sleeps
+/// (sources must be empty). Moves are executed detach-all-then-attach: the
+/// plan is only guaranteed consistent in its *final* state, so executing
+/// migrations one-by-one could transiently overflow a destination that a
+/// later move drains. A sleep target that turns out non-empty is skipped
+/// rather than failing the whole plan.
+pub fn apply_plan(dc: &mut DataCenter, plan: &ConsolidationPlan) -> Result<ApplyStats, DcError> {
+    let mut stats = ApplyStats::default();
+    for &s in &plan.servers_to_wake {
+        dc.wake_server(s)?;
+        stats.woken += 1;
+    }
+    // Detach every migrating VM first.
+    for mv in &plan.moves {
+        if mv.from.is_some() {
+            dc.unplace_vm(mv.vm)?;
+        }
+    }
+    // Attach everything at its destination.
+    for mv in &plan.moves {
+        dc.place_vm(mv.vm, mv.to)?;
+        match mv.from {
+            Some(from) => {
+                let rec = dc.note_migration(mv.vm, from, mv.to)?;
+                stats.migrations += 1;
+                stats.migrated_mib += rec.memory_mib;
+            }
+            None => stats.placements += 1,
+        }
+    }
+    for &s in &plan.servers_to_sleep {
+        if dc.hosted_vms(s)?.is_empty() {
+            dc.sleep_server(s)?;
+            stats.slept += 1;
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::AndConstraint;
+    use crate::ipac::{ipac_plan, IpacConfig};
+    use crate::policy::AlwaysAllow;
+    use vdc_dcsim::{Server, ServerSpec, VmId, VmSpec};
+
+    fn testbed() -> DataCenter {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        dc.add_server(Server::active(ServerSpec::type_dual_2ghz()));
+        dc.add_server(Server::asleep(ServerSpec::type_dual_1_5ghz()));
+        dc
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let mut dc = testbed();
+        dc.add_vm(VmSpec::new(1, 1.5, 1024.0)).unwrap();
+        dc.place_vm(VmId(1), 1).unwrap();
+        let snap = snapshot(&dc);
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].cpu_capacity_ghz, 12.0);
+        assert!(snap[0].resident.is_empty());
+        assert_eq!(snap[1].resident.len(), 1);
+        assert_eq!(snap[1].resident[0].cpu_ghz, 1.5);
+        assert!(!snap[2].active);
+        assert!(snap[0].power_efficiency() > snap[1].power_efficiency());
+    }
+
+    #[test]
+    fn ipac_plan_applies_cleanly_end_to_end() {
+        let mut dc = testbed();
+        // Spread VMs over the two active servers, inefficiently.
+        dc.add_vm(VmSpec::new(1, 1.0, 1024.0)).unwrap();
+        dc.add_vm(VmSpec::new(2, 1.0, 1024.0)).unwrap();
+        dc.place_vm(VmId(1), 0).unwrap();
+        dc.place_vm(VmId(2), 1).unwrap();
+        let before_power = {
+            dc.apply_dvfs(false).unwrap();
+            dc.total_power_watts()
+        };
+        let plan = ipac_plan(
+            &snapshot(&dc),
+            &[],
+            &AndConstraint::cpu_and_memory(),
+            &AlwaysAllow,
+            &IpacConfig::default(),
+        );
+        let stats = apply_plan(&mut dc, &plan).unwrap();
+        assert_eq!(stats.migrations, 1);
+        assert_eq!(stats.slept, 1);
+        dc.apply_dvfs(true).unwrap();
+        let after_power = dc.total_power_watts();
+        assert!(
+            after_power < before_power,
+            "consolidation must cut power: {after_power} vs {before_power}"
+        );
+        // Both VMs now live on server 0.
+        assert_eq!(dc.placement_of(VmId(1)), Some(0));
+        assert_eq!(dc.placement_of(VmId(2)), Some(0));
+    }
+
+    #[test]
+    fn plan_with_initial_placements() {
+        let mut dc = testbed();
+        dc.add_vm(VmSpec::new(1, 2.0, 1024.0)).unwrap();
+        let plan = ipac_plan(
+            &snapshot(&dc),
+            &[PackItem::new(VmId(1), 2.0, 1024.0)],
+            &AndConstraint::cpu_and_memory(),
+            &AlwaysAllow,
+            &IpacConfig::default(),
+        );
+        let stats = apply_plan(&mut dc, &plan).unwrap();
+        assert_eq!(stats.placements, 1);
+        assert_eq!(dc.placement_of(VmId(1)), Some(0));
+    }
+
+    #[test]
+    fn sleep_skipped_if_server_not_empty() {
+        let mut dc = testbed();
+        dc.add_vm(VmSpec::new(1, 1.0, 1024.0)).unwrap();
+        dc.place_vm(VmId(1), 0).unwrap();
+        let plan = ConsolidationPlan {
+            moves: vec![],
+            servers_to_sleep: vec![0],
+            servers_to_wake: vec![],
+        };
+        let stats = apply_plan(&mut dc, &plan).unwrap();
+        assert_eq!(stats.slept, 0);
+        assert!(dc.server(0).unwrap().is_active());
+    }
+}

@@ -1,0 +1,308 @@
+//! Property-based tests for the packing layer: every algorithm's output
+//! must be *feasible* (no CPU/memory violation on any server) and
+//! *conservative* (no VM lost or duplicated) for arbitrary inputs.
+
+use proptest::prelude::*;
+use vdc_consolidate::constraint::{AndConstraint, Constraint};
+use vdc_consolidate::ffd::first_fit_decreasing;
+use vdc_consolidate::ipac::{ipac_plan, IpacConfig};
+use vdc_consolidate::item::{PackItem, PackServer};
+use vdc_consolidate::minslack::{minimum_slack, MinSlackConfig};
+use vdc_consolidate::pac::pac_pack;
+use vdc_consolidate::plan::ConsolidationPlan;
+use vdc_consolidate::pmapper::pmapper_plan;
+use vdc_consolidate::policy::AlwaysAllow;
+use std::collections::BTreeMap;
+use vdc_dcsim::VmId;
+
+/// Strategy: a fleet of 2–8 servers with assorted capacities.
+fn servers_strategy() -> impl Strategy<Value = Vec<PackServer>> {
+    proptest::collection::vec(
+        (2.0f64..12.0, 2048.0f64..16384.0, 100.0f64..400.0),
+        2..8,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (cpu, mem, watts))| PackServer {
+                index: i,
+                cpu_capacity_ghz: cpu,
+                mem_capacity_mib: mem,
+                max_watts: watts,
+                idle_watts: watts * 0.6,
+                active: false,
+                resident: Vec::new(),
+            })
+            .collect()
+    })
+}
+
+/// Strategy: 1–25 VMs with assorted demands.
+fn items_strategy() -> impl Strategy<Value = Vec<PackItem>> {
+    proptest::collection::vec((0.1f64..3.0, 64.0f64..2048.0), 1..25).prop_map(|vms| {
+        vms.into_iter()
+            .enumerate()
+            .map(|(i, (cpu, mem))| PackItem::new(VmId(i as u64), cpu, mem))
+            .collect()
+    })
+}
+
+/// A populated snapshot: items distributed round-robin, skipping servers
+/// that cannot take an item (so the starting state is always feasible).
+fn populate(mut servers: Vec<PackServer>, items: &[PackItem]) -> Vec<PackServer> {
+    let constraint = AndConstraint::cpu_and_memory();
+    let n = servers.len();
+    for (k, item) in items.iter().enumerate() {
+        for off in 0..n {
+            let s = (k + off) % n;
+            if constraint.admits(&servers[s], std::slice::from_ref(item)) {
+                servers[s].resident.push(*item);
+                servers[s].active = true;
+                break;
+            }
+        }
+        // Items that fit nowhere are dropped: the starting state stays valid.
+    }
+    servers
+}
+
+/// Check a final state: every server satisfies CPU and memory.
+fn state_feasible(servers: &[PackServer]) -> bool {
+    servers.iter().all(|s| {
+        s.resident_cpu() <= s.cpu_capacity_ghz + 1e-6
+            && s.resident_mem() <= s.mem_capacity_mib + 1e-6
+    })
+}
+
+/// Apply a plan to a snapshot (pure data transformation for checking).
+fn apply(servers: &[PackServer], plan: &ConsolidationPlan) -> Vec<PackServer> {
+    let mut state = servers.to_vec();
+    for mv in &plan.moves {
+        let item = PackItem::new(mv.vm, mv.cpu_ghz, mv.mem_mib);
+        if let Some(from) = mv.from {
+            let src = state.iter_mut().find(|s| s.index == from).unwrap();
+            src.resident.retain(|it| it.vm != mv.vm);
+        }
+        let dst = state.iter_mut().find(|s| s.index == mv.to).unwrap();
+        dst.resident.push(item);
+        dst.active = true;
+    }
+    state
+}
+
+fn vm_multiset(servers: &[PackServer]) -> BTreeMap<u64, usize> {
+    let mut m = BTreeMap::new();
+    for s in servers {
+        for it in &s.resident {
+            *m.entry(it.vm.0).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn minslack_selection_is_feasible(
+        (servers, items) in (servers_strategy(), items_strategy())
+    ) {
+        let constraint = AndConstraint::cpu_and_memory();
+        let server = &servers[0];
+        let res = minimum_slack(server, &items, &constraint, &MinSlackConfig::default());
+        // Chosen indices are unique and in range.
+        let mut seen = std::collections::BTreeSet::new();
+        for &i in &res.chosen {
+            prop_assert!(i < items.len());
+            prop_assert!(seen.insert(i), "duplicate index {i}");
+        }
+        // Selection satisfies the constraint.
+        let chosen: Vec<PackItem> = res.chosen.iter().map(|&i| items[i]).collect();
+        prop_assert!(constraint.admits(server, &chosen));
+        // Slack consistency.
+        let used: f64 = chosen.iter().map(|i| i.cpu_ghz).sum();
+        let slack = server.cpu_capacity_ghz - server.resident_cpu() - used;
+        prop_assert!((slack - res.slack_ghz).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pac_assignments_feasible_and_conservative(
+        (servers, items) in (servers_strategy(), items_strategy())
+    ) {
+        let constraint = AndConstraint::cpu_and_memory();
+        let mut state = servers.clone();
+        let res = pac_pack(&mut state, &items, &constraint, &MinSlackConfig::default());
+        prop_assert!(state_feasible(&state), "PAC produced an infeasible state");
+        // Every input VM is either assigned exactly once or unplaced.
+        let assigned: std::collections::BTreeSet<u64> =
+            res.assignments.iter().map(|&(vm, _)| vm.0).collect();
+        let unplaced: std::collections::BTreeSet<u64> =
+            res.unplaced.iter().map(|vm| vm.0).collect();
+        prop_assert_eq!(assigned.len(), res.assignments.len(), "double assignment");
+        prop_assert!(assigned.is_disjoint(&unplaced));
+        prop_assert_eq!(assigned.len() + unplaced.len(), items.len());
+    }
+
+    #[test]
+    fn ffd_respects_constraints(
+        (servers, items) in (servers_strategy(), items_strategy())
+    ) {
+        let constraint = AndConstraint::cpu_and_memory();
+        let mut state = servers.clone();
+        let _ = first_fit_decreasing(&mut state, &items, &constraint);
+        prop_assert!(state_feasible(&state));
+    }
+
+    #[test]
+    fn ipac_plan_preserves_vms_and_feasibility(
+        (servers, items) in (servers_strategy(), items_strategy())
+    ) {
+        let constraint = AndConstraint::cpu_and_memory();
+        let start = populate(servers, &items);
+        let before = vm_multiset(&start);
+        let plan = ipac_plan(&start, &[], &constraint, &AlwaysAllow, &IpacConfig::default());
+        let after_state = apply(&start, &plan);
+        let after = vm_multiset(&after_state);
+        prop_assert_eq!(&before, &after, "IPAC lost or duplicated VMs");
+        prop_assert!(state_feasible(&after_state), "IPAC plan violates capacity");
+        // Never more active servers than before (IPAC only consolidates;
+        // wakes happen only to resolve overload, and `populate` starts
+        // feasible).
+        let occ_before = start.iter().filter(|s| !s.resident.is_empty()).count();
+        let occ_after = after_state.iter().filter(|s| !s.resident.is_empty()).count();
+        prop_assert!(occ_after <= occ_before);
+    }
+
+    #[test]
+    fn pmapper_plan_preserves_vms_and_feasibility(
+        (servers, items) in (servers_strategy(), items_strategy())
+    ) {
+        let constraint = AndConstraint::cpu_and_memory();
+        let start = populate(servers, &items);
+        let before = vm_multiset(&start);
+        let plan = pmapper_plan(&start, &[], &constraint);
+        let after_state = apply(&start, &plan);
+        let after = vm_multiset(&after_state);
+        prop_assert_eq!(&before, &after, "pMapper lost or duplicated VMs");
+        prop_assert!(state_feasible(&after_state), "pMapper plan violates capacity");
+    }
+
+    #[test]
+    fn ipac_never_does_worse_than_start_power_proxy(
+        (servers, items) in (servers_strategy(), items_strategy())
+    ) {
+        // Idle-power proxy: sum of idle watts of occupied servers must not
+        // increase after an IPAC plan (it can only empty servers).
+        let constraint = AndConstraint::cpu_and_memory();
+        let start = populate(servers, &items);
+        let plan = ipac_plan(&start, &[], &constraint, &AlwaysAllow, &IpacConfig::default());
+        let after_state = apply(&start, &plan);
+        let idle = |state: &[PackServer]| -> f64 {
+            state
+                .iter()
+                .filter(|s| !s.resident.is_empty())
+                .map(|s| s.idle_watts)
+                .sum()
+        };
+        prop_assert!(idle(&after_state) <= idle(&start) + 1e-9);
+    }
+}
+
+/// Regression (found by the large-scale simulation): when a tight fleet
+/// cannot absorb overload evictions, IPAC force-returns them home — which
+/// must never violate the *hard* memory constraint, even if PAC already
+/// packed newcomers onto the origin server.
+mod overloaded_starts {
+    use super::*;
+
+    fn mem_feasible(servers: &[PackServer]) -> bool {
+        servers
+            .iter()
+            .all(|s| s.resident_mem() <= s.mem_capacity_mib + 1e-6)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ipac_on_overloaded_tight_fleet_keeps_memory_feasible(
+            (servers, items, inflate) in (servers_strategy(), items_strategy(), 1.0f64..6.0)
+        ) {
+            let constraint = AndConstraint::cpu_and_memory();
+            // Start from a feasible packing, then inflate CPU demands so
+            // several servers are overloaded (memory stays as placed).
+            let mut start = populate(servers, &items);
+            for s in start.iter_mut() {
+                for it in s.resident.iter_mut() {
+                    it.cpu_ghz *= inflate;
+                }
+            }
+            prop_assume!(mem_feasible(&start));
+            let before = vm_multiset(&start);
+            let plan = ipac_plan(&start, &[], &constraint, &AlwaysAllow, &IpacConfig::default());
+            let after = apply(&start, &plan);
+            prop_assert_eq!(before, vm_multiset(&after), "VMs lost or duplicated");
+            prop_assert!(
+                mem_feasible(&after),
+                "hard memory constraint violated under overload pressure"
+            );
+        }
+
+        #[test]
+        fn relief_then_ipac_composition_is_consistent(
+            (servers, items, inflate) in (servers_strategy(), items_strategy(), 1.0f64..4.0)
+        ) {
+            use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
+            let constraint = AndConstraint::cpu_and_memory();
+            let mut start = populate(servers, &items);
+            for s in start.iter_mut() {
+                for it in s.resident.iter_mut() {
+                    it.cpu_ghz *= inflate;
+                }
+            }
+            prop_assume!(mem_feasible(&start));
+            let before = vm_multiset(&start);
+            // Relief first (the between-invocations pass)…
+            let relief = relieve_overloads(&start, &constraint, &ReliefConfig::default());
+            let mid = apply(&start, &relief.plan);
+            prop_assert!(mem_feasible(&mid));
+            // …then a full IPAC invocation.
+            let plan = ipac_plan(&mid, &[], &constraint, &AlwaysAllow, &IpacConfig::default());
+            let after = apply(&mid, &plan);
+            prop_assert_eq!(before, vm_multiset(&after));
+            prop_assert!(mem_feasible(&after));
+        }
+    }
+}
+
+/// Convergence: repeatedly planning and applying IPAC must reach a fixed
+/// point (an empty plan) quickly — the paper's invoke-until-no-decrease
+/// loop must not oscillate across invocations.
+mod convergence {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ipac_reaches_a_fixed_point(
+            (servers, items) in (servers_strategy(), items_strategy())
+        ) {
+            let constraint = AndConstraint::cpu_and_memory();
+            let mut state = populate(servers, &items);
+            let mut rounds = 0;
+            loop {
+                let plan = ipac_plan(&state, &[], &constraint, &AlwaysAllow, &IpacConfig::default());
+                if plan.moves.is_empty() {
+                    break;
+                }
+                state = apply(&state, &plan);
+                rounds += 1;
+                prop_assert!(rounds <= 8, "IPAC keeps planning moves after {rounds} rounds");
+            }
+            // The fixed point is feasible.
+            prop_assert!(state_feasible(&state));
+        }
+    }
+}

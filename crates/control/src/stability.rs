@@ -1,0 +1,209 @@
+//! Stability analysis of identified models and closed loops.
+//!
+//! The paper ensures MPC stability by the terminal constraint (eq. (4),
+//! citing optimal-control theory \[14, 15\]). This module provides the
+//! numerical counterparts used in our analysis and tests:
+//!
+//! * open-loop pole locations / spectral radius of an ARX model,
+//! * a closed-loop simulation probe that measures settling behaviour of a
+//!   controller against a given plant.
+
+use crate::arx::ArxModel;
+use crate::mpc::MpcController;
+use crate::{ControlError, Result};
+use vdc_linalg::{eigenvalues, Complex};
+
+/// Poles of the ARX model (roots of `zⁿᵃ − a₁ zⁿᵃ⁻¹ − … − aₙₐ`).
+///
+/// FIR models (`na = 0`) have no poles and return an empty vector.
+pub fn model_poles(model: &ArxModel) -> Result<Vec<Complex>> {
+    match model.companion_matrix() {
+        Some(cm) => Ok(eigenvalues(&cm)?),
+        None => Ok(Vec::new()),
+    }
+}
+
+/// Spectral radius of the model's autoregressive dynamics (0 for FIR).
+pub fn model_spectral_radius(model: &ArxModel) -> Result<f64> {
+    Ok(model_poles(model)?
+        .iter()
+        .fold(0.0_f64, |m, z| m.max(z.abs())))
+}
+
+/// Whether the open-loop model is BIBO stable (all poles strictly inside
+/// the unit circle, with `margin` of slack: radius < 1 − margin).
+pub fn is_stable(model: &ArxModel, margin: f64) -> Result<bool> {
+    Ok(model_spectral_radius(model)? < 1.0 - margin)
+}
+
+/// Result of a closed-loop probe run.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopProbe {
+    /// Output trajectory of the plant under control.
+    pub trajectory: Vec<f64>,
+    /// Steps until the output first enters (and stays in) the ±`band`
+    /// envelope around the set point; `None` if it never settles.
+    pub settling_steps: Option<usize>,
+    /// Maximum overshoot beyond the set point (same sign convention as the
+    /// approach direction), 0 if none.
+    pub overshoot: f64,
+    /// Mean absolute tracking error over the final quarter of the run.
+    pub steady_state_error: f64,
+}
+
+/// Simulate `controller` against `plant` for `steps` periods from initial
+/// output `t0`, and report settling metrics with the given `band`
+/// (absolute units) around the controller's set point.
+///
+/// The plant may differ from the controller's internal model; this is how
+/// we probe robustness (the Fig. 4/5 experiments of the paper change the
+/// workload away from the identification conditions).
+pub fn probe_closed_loop(
+    controller: &mut MpcController,
+    plant: &ArxModel,
+    steps: usize,
+    t0: f64,
+    band: f64,
+) -> Result<ClosedLoopProbe> {
+    if steps == 0 {
+        return Err(ControlError::BadConfig("probe needs steps > 0".into()));
+    }
+    if plant.n_inputs() != controller.model().n_inputs() {
+        return Err(ControlError::BadDimensions(
+            "plant and controller input counts differ".into(),
+        ));
+    }
+    let ts = controller.config().setpoint;
+    let mut t_hist = vec![t0; plant.na().max(1)];
+    let mut c_hist = vec![controller.current_allocation().to_vec(); plant.nb()];
+    let mut t = t0;
+    let mut trajectory = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let step = controller.step(t)?;
+        c_hist.insert(0, step.allocation);
+        c_hist.truncate(plant.nb());
+        t = plant.predict(&t_hist, &c_hist)?;
+        t_hist.insert(0, t);
+        t_hist.truncate(plant.na().max(1));
+        trajectory.push(t);
+    }
+
+    // Settling: last index outside the band, +1.
+    let outside = trajectory
+        .iter()
+        .rposition(|&v| (v - ts).abs() > band);
+    let settling_steps = match outside {
+        None => Some(0),
+        Some(idx) if idx + 1 < steps => Some(idx + 1),
+        Some(_) => None,
+    };
+
+    // Overshoot relative to approach direction.
+    let from_above = t0 > ts;
+    let overshoot = trajectory
+        .iter()
+        .map(|&v| if from_above { ts - v } else { v - ts })
+        .fold(0.0_f64, f64::max);
+
+    let tail = &trajectory[steps - (steps / 4).max(1)..];
+    let steady_state_error =
+        tail.iter().map(|&v| (v - ts).abs()).sum::<f64>() / tail.len() as f64;
+
+    Ok(ClosedLoopProbe {
+        trajectory,
+        settling_steps,
+        overshoot,
+        steady_state_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpc::MpcConfig;
+    use crate::reference::ReferenceTrajectory;
+
+    fn plant() -> ArxModel {
+        ArxModel::new(
+            vec![0.45],
+            vec![vec![-180.0, -120.0], vec![-60.0, -40.0]],
+            1400.0,
+        )
+        .unwrap()
+    }
+
+    fn controller(setpoint: f64, tref: f64) -> MpcController {
+        let reference = ReferenceTrajectory::new(4.0, tref).unwrap();
+        let cfg = MpcConfig {
+            prediction_horizon: 8,
+            control_horizon: 2,
+            q_weight: 1.0,
+            r_weight: vec![1e-4, 1e-4],
+            reference,
+            setpoint,
+            c_min: vec![0.2, 0.2],
+            c_max: vec![3.0, 3.0],
+            delta_max: Some(0.5),
+            terminal_constraint: true,
+        };
+        MpcController::new(plant(), cfg, &[1.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn poles_of_paper_model() {
+        let m = plant();
+        let poles = model_poles(&m).unwrap();
+        assert_eq!(poles.len(), 1);
+        assert!((poles[0].re - 0.45).abs() < 1e-9);
+        assert!(is_stable(&m, 0.0).unwrap());
+        assert!((model_spectral_radius(&m).unwrap() - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_model_detected() {
+        let m = ArxModel::new(vec![1.1], vec![vec![1.0]], 0.0).unwrap();
+        assert!(!is_stable(&m, 0.0).unwrap());
+        // Marginally stable fails a positive margin.
+        let m2 = ArxModel::new(vec![0.98], vec![vec![1.0]], 0.0).unwrap();
+        assert!(is_stable(&m2, 0.0).unwrap());
+        assert!(!is_stable(&m2, 0.05).unwrap());
+    }
+
+    #[test]
+    fn fir_has_no_poles_and_is_stable() {
+        let m = ArxModel::new(vec![], vec![vec![2.0]], 0.0).unwrap();
+        assert!(model_poles(&m).unwrap().is_empty());
+        assert_eq!(model_spectral_radius(&m).unwrap(), 0.0);
+        assert!(is_stable(&m, 0.1).unwrap());
+    }
+
+    #[test]
+    fn closed_loop_probe_settles() {
+        let mut ctrl = controller(1000.0, 12.0);
+        let probe = probe_closed_loop(&mut ctrl, &plant(), 80, 2000.0, 20.0).unwrap();
+        let settle = probe.settling_steps.expect("should settle");
+        assert!(settle < 40, "settling steps {settle}");
+        assert!(probe.steady_state_error < 10.0);
+    }
+
+    #[test]
+    fn faster_reference_settles_faster() {
+        let mut fast = controller(1000.0, 6.0);
+        let mut slow = controller(1000.0, 60.0);
+        let p_fast = probe_closed_loop(&mut fast, &plant(), 100, 2000.0, 25.0).unwrap();
+        let p_slow = probe_closed_loop(&mut slow, &plant(), 100, 2000.0, 25.0).unwrap();
+        let (sf, ss) = (
+            p_fast.settling_steps.expect("fast settles"),
+            p_slow.settling_steps.expect("slow settles"),
+        );
+        assert!(sf <= ss, "fast {sf} should settle no slower than slow {ss}");
+    }
+
+    #[test]
+    fn probe_validates_inputs() {
+        let mut ctrl = controller(1000.0, 12.0);
+        assert!(probe_closed_loop(&mut ctrl, &plant(), 0, 2000.0, 10.0).is_err());
+        let wrong = ArxModel::new(vec![0.4], vec![vec![-100.0]], 1000.0).unwrap();
+        assert!(probe_closed_loop(&mut ctrl, &wrong, 10, 2000.0, 10.0).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! The data-center-level power optimizer of Fig. 1.
+//!
+//! Wraps the consolidation algorithms (`vdc-consolidate`) behind one
+//! interface that snapshots a [`DataCenter`], plans, applies, and throttles
+//! (DVFS + sleep) — one "invocation" of the optimizer in the paper's
+//! terminology, to be scheduled on a long time scale (hours to days).
+
+use crate::Result;
+use vdc_consolidate::constraint::AndConstraint;
+use vdc_consolidate::ipac::{ipac_plan, IpacConfig};
+use vdc_consolidate::item::PackItem;
+use vdc_consolidate::plan::ConsolidationPlan;
+use vdc_consolidate::pmapper::pmapper_plan;
+use vdc_consolidate::policy::{AlwaysAllow, MigrationPolicy};
+use vdc_consolidate::view::{apply_plan, snapshot, ApplyStats};
+use vdc_dcsim::DataCenter;
+
+/// Which consolidation algorithm the optimizer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The paper's Incremental Power-Aware Consolidation.
+    Ipac,
+    /// The pMapper baseline.
+    Pmapper,
+}
+
+/// Optimizer configuration.
+pub struct OptimizerConfig {
+    /// Consolidation algorithm.
+    pub algorithm: Algorithm,
+    /// Packing feasibility rule (defaults to CPU + memory, the §VII-B
+    /// administrator constraint).
+    pub constraint: AndConstraint,
+    /// IPAC tuning (ignored by pMapper).
+    pub ipac: IpacConfig,
+    /// Cost-aware migration policy (applied by IPAC's drain rounds).
+    pub policy: Box<dyn MigrationPolicy + Send + Sync>,
+}
+
+impl OptimizerConfig {
+    /// Default IPAC configuration with the standard constraint set.
+    pub fn ipac_default() -> OptimizerConfig {
+        OptimizerConfig {
+            algorithm: Algorithm::Ipac,
+            constraint: AndConstraint::cpu_and_memory(),
+            ipac: IpacConfig::default(),
+            policy: Box::new(AlwaysAllow),
+        }
+    }
+
+    /// Default pMapper configuration with the standard constraint set.
+    pub fn pmapper_default() -> OptimizerConfig {
+        OptimizerConfig {
+            algorithm: Algorithm::Pmapper,
+            constraint: AndConstraint::cpu_and_memory(),
+            ipac: IpacConfig::default(),
+            policy: Box::new(AlwaysAllow),
+        }
+    }
+}
+
+/// The data-center-level power optimizer.
+pub struct PowerOptimizer {
+    cfg: OptimizerConfig,
+    invocations: u64,
+    total_migrations: u64,
+}
+
+impl PowerOptimizer {
+    /// Create an optimizer.
+    pub fn new(cfg: OptimizerConfig) -> PowerOptimizer {
+        PowerOptimizer {
+            cfg,
+            invocations: 0,
+            total_migrations: 0,
+        }
+    }
+
+    /// Number of invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Total migrations executed across invocations.
+    pub fn total_migrations(&self) -> u64 {
+        self.total_migrations
+    }
+
+    /// Plan without applying (inspection / dry runs).
+    pub fn plan(&self, dc: &DataCenter, new_items: &[PackItem]) -> ConsolidationPlan {
+        let snap = snapshot(dc);
+        match self.cfg.algorithm {
+            Algorithm::Ipac => ipac_plan(
+                &snap,
+                new_items,
+                &self.cfg.constraint,
+                self.cfg.policy.as_ref(),
+                &self.cfg.ipac,
+            ),
+            Algorithm::Pmapper => pmapper_plan(&snap, new_items, &self.cfg.constraint),
+        }
+    }
+
+    /// One optimizer invocation: snapshot → plan → apply. `new_items` are
+    /// VMs registered in the data center but not yet placed.
+    pub fn optimize(&mut self, dc: &mut DataCenter, new_items: &[PackItem]) -> Result<ApplyStats> {
+        let plan = self.plan(dc, new_items);
+        let stats = apply_plan(dc, &plan)?;
+        self.invocations += 1;
+        self.total_migrations += stats.migrations as u64;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdc_dcsim::{Server, ServerSpec, VmId, VmSpec};
+
+    fn spread_dc() -> DataCenter {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        dc.add_server(Server::active(ServerSpec::type_dual_2ghz()));
+        dc.add_server(Server::active(ServerSpec::type_dual_1_5ghz()));
+        for i in 0..3 {
+            dc.add_vm(VmSpec::new(i, 0.8, 1024.0)).unwrap();
+            dc.place_vm(VmId(i), i as usize).unwrap();
+        }
+        dc
+    }
+
+    #[test]
+    fn ipac_invocation_consolidates_and_counts() {
+        let mut dc = spread_dc();
+        let mut opt = PowerOptimizer::new(OptimizerConfig::ipac_default());
+        let stats = opt.optimize(&mut dc, &[]).unwrap();
+        assert!(stats.migrations >= 2, "{stats:?}");
+        assert_eq!(opt.invocations(), 1);
+        assert_eq!(opt.total_migrations(), stats.migrations as u64);
+        // Everything should now sit on the efficient quad server.
+        for i in 0..3 {
+            assert_eq!(dc.placement_of(VmId(i)), Some(0));
+        }
+        dc.apply_dvfs(true).unwrap();
+        assert_eq!(dc.active_servers(), vec![0]);
+    }
+
+    #[test]
+    fn pmapper_invocation_also_consolidates() {
+        let mut dc = spread_dc();
+        let mut opt = PowerOptimizer::new(OptimizerConfig::pmapper_default());
+        let stats = opt.optimize(&mut dc, &[]).unwrap();
+        assert!(stats.migrations >= 2, "{stats:?}");
+        for i in 0..3 {
+            assert_eq!(dc.placement_of(VmId(i)), Some(0));
+        }
+    }
+
+    #[test]
+    fn new_items_placed_by_invocation() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::asleep(ServerSpec::type_quad_3ghz()));
+        dc.add_vm(VmSpec::new(7, 1.0, 1024.0)).unwrap();
+        let mut opt = PowerOptimizer::new(OptimizerConfig::ipac_default());
+        let stats = opt
+            .optimize(&mut dc, &[PackItem::new(VmId(7), 1.0, 1024.0)])
+            .unwrap();
+        assert_eq!(stats.placements, 1);
+        assert_eq!(dc.placement_of(VmId(7)), Some(0));
+        assert!(dc.server(0).unwrap().is_active());
+    }
+
+    #[test]
+    fn dry_run_plan_does_not_mutate() {
+        let dc = spread_dc();
+        let opt = PowerOptimizer::new(OptimizerConfig::ipac_default());
+        let plan = opt.plan(&dc, &[]);
+        assert!(!plan.moves.is_empty());
+        // dc unchanged.
+        assert_eq!(dc.placement_of(VmId(1)), Some(1));
+    }
+}

@@ -1,0 +1,600 @@
+//! Data-center state: servers, VM placement, migration, energy accounting.
+//!
+//! This is the bookkeeping substrate under both the testbed scenario (4
+//! servers, 8 two-tier applications) and the large-scale simulation (3,000
+//! servers hosting up to 5,415 trace-driven VMs). The consolidation
+//! algorithms in `vdc-consolidate` compute *plans*; this module executes
+//! them (migrations, sleep/wake) and integrates power into energy.
+
+use crate::server::{CpuArbitrator, Server, ServerState};
+use crate::vm::{VmId, VmSpec};
+use crate::{DcError, Result};
+use std::collections::BTreeMap;
+
+/// Record of one executed live migration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationRecord {
+    /// The VM that moved.
+    pub vm: VmId,
+    /// Source server index (`None` = initial placement of an unhosted VM).
+    pub from: Option<usize>,
+    /// Destination server index.
+    pub to: usize,
+    /// Memory copied (MiB) — the dominant cost of pre-copy live migration.
+    pub memory_mib: f64,
+    /// Estimated transfer duration in seconds at the configured bandwidth.
+    pub duration_s: f64,
+}
+
+/// The data center: servers, VMs, placement, and accounting.
+///
+/// # Examples
+///
+/// ```
+/// use vdc_dcsim::{DataCenter, Server, ServerSpec, VmId, VmSpec};
+///
+/// let mut dc = DataCenter::new();
+/// dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+/// dc.add_vm(VmSpec::new(1, 2.0, 1024.0)).unwrap();
+/// dc.place_vm(VmId(1), 0).unwrap();
+/// dc.apply_dvfs(false).unwrap();
+/// assert!(dc.total_power_watts() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataCenter {
+    servers: Vec<Server>,
+    vms: BTreeMap<VmId, VmSpec>,
+    placement: BTreeMap<VmId, usize>,
+    hosted: Vec<Vec<VmId>>,
+    arbitrator: CpuArbitrator,
+    /// Migration network bandwidth (MiB/s) used for cost estimates.
+    migration_bandwidth_mib_s: f64,
+    energy_wh: f64,
+    elapsed_s: f64,
+    migrations: Vec<MigrationRecord>,
+    wake_count: u64,
+    sleep_count: u64,
+    /// Energy spent on wake transitions (a waking server burns roughly its
+    /// static power for `wake_latency_s` before doing useful work).
+    wake_energy_wh: f64,
+}
+
+impl DataCenter {
+    /// Empty data center with the default arbitrator and 1 Gb/s ≈ 119 MiB/s
+    /// migration bandwidth.
+    pub fn new() -> DataCenter {
+        DataCenter {
+            servers: Vec::new(),
+            vms: BTreeMap::new(),
+            placement: BTreeMap::new(),
+            hosted: Vec::new(),
+            arbitrator: CpuArbitrator::default(),
+            migration_bandwidth_mib_s: 119.0,
+            energy_wh: 0.0,
+            elapsed_s: 0.0,
+            migrations: Vec::new(),
+            wake_count: 0,
+            sleep_count: 0,
+            wake_energy_wh: 0.0,
+        }
+    }
+
+    /// Replace the CPU arbitrator policy.
+    pub fn set_arbitrator(&mut self, arb: CpuArbitrator) {
+        self.arbitrator = arb;
+    }
+
+    /// Set the migration network bandwidth (MiB/s, floored at a small
+    /// positive value).
+    pub fn set_migration_bandwidth(&mut self, mib_s: f64) {
+        self.migration_bandwidth_mib_s = mib_s.max(1e-3);
+    }
+
+    // ---- topology -------------------------------------------------------
+
+    /// Add a server; returns its index.
+    pub fn add_server(&mut self, server: Server) -> usize {
+        self.servers.push(server);
+        self.hosted.push(Vec::new());
+        self.servers.len() - 1
+    }
+
+    /// Number of servers.
+    pub fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Borrow a server.
+    pub fn server(&self, idx: usize) -> Result<&Server> {
+        self.servers.get(idx).ok_or(DcError::UnknownServer(idx))
+    }
+
+    /// Indices of currently active servers.
+    pub fn active_servers(&self) -> Vec<usize> {
+        (0..self.servers.len())
+            .filter(|&i| self.servers[i].is_active())
+            .collect()
+    }
+
+    /// Register a VM (initially unplaced).
+    pub fn add_vm(&mut self, spec: VmSpec) -> Result<VmId> {
+        let id = spec.id;
+        if self.vms.contains_key(&id) {
+            return Err(DcError::BadPlacement(format!("VM {id} already exists")));
+        }
+        self.vms.insert(id, spec);
+        Ok(id)
+    }
+
+    /// Number of registered VMs.
+    pub fn n_vms(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Borrow a VM spec.
+    pub fn vm(&self, id: VmId) -> Result<&VmSpec> {
+        self.vms.get(&id).ok_or(DcError::UnknownVm(id.0))
+    }
+
+    /// Current server hosting a VM, if placed.
+    pub fn placement_of(&self, id: VmId) -> Option<usize> {
+        self.placement.get(&id).copied()
+    }
+
+    /// VMs hosted on a server.
+    pub fn hosted_vms(&self, server: usize) -> Result<&[VmId]> {
+        self.hosted
+            .get(server)
+            .map(|v| v.as_slice())
+            .ok_or(DcError::UnknownServer(server))
+    }
+
+    // ---- demand / capacity ----------------------------------------------
+
+    /// Update a VM's CPU demand (GHz).
+    pub fn set_vm_demand(&mut self, id: VmId, ghz: f64) -> Result<()> {
+        let vm = self.vms.get_mut(&id).ok_or(DcError::UnknownVm(id.0))?;
+        vm.cpu_demand_ghz = ghz.max(0.0);
+        Ok(())
+    }
+
+    /// Aggregate CPU demand hosted on a server (GHz).
+    pub fn server_demand_ghz(&self, server: usize) -> Result<f64> {
+        Ok(self
+            .hosted_vms(server)?
+            .iter()
+            .map(|id| self.vms[id].cpu_demand_ghz)
+            .sum())
+    }
+
+    /// Aggregate memory hosted on a server (MiB).
+    pub fn server_memory_mib(&self, server: usize) -> Result<f64> {
+        Ok(self
+            .hosted_vms(server)?
+            .iter()
+            .map(|id| self.vms[id].memory_mib)
+            .sum())
+    }
+
+    /// Whether the aggregate demand exceeds the server's *maximum* capacity
+    /// (the overload condition the IPAC invocation resolves, §V).
+    pub fn is_overloaded(&self, server: usize) -> Result<bool> {
+        let demand = self.server_demand_ghz(server)?;
+        Ok(demand > self.servers[server].spec.max_capacity_ghz() + 1e-12)
+    }
+
+    // ---- placement & migration ------------------------------------------
+
+    /// Place an unplaced VM on a server. Wakes the server if sleeping.
+    /// Enforces the hard memory constraint; CPU may oversubscribe (it
+    /// degrades performance rather than failing).
+    pub fn place_vm(&mut self, id: VmId, server: usize) -> Result<()> {
+        let vm_mem = self.vm(id)?.memory_mib;
+        if server >= self.servers.len() {
+            return Err(DcError::UnknownServer(server));
+        }
+        if self.placement.contains_key(&id) {
+            return Err(DcError::BadPlacement(format!(
+                "VM {id} is already placed; use migrate_vm"
+            )));
+        }
+        let used = self.server_memory_mib(server)?;
+        if used + vm_mem > self.servers[server].spec.memory_mib + 1e-9 {
+            return Err(DcError::Invalid(format!(
+                "memory overflow on server {server}: {used} + {vm_mem} > {}",
+                self.servers[server].spec.memory_mib
+            )));
+        }
+        if !self.servers[server].is_active() {
+            self.wake_server(server)?;
+        }
+        self.placement.insert(id, server);
+        self.hosted[server].push(id);
+        Ok(())
+    }
+
+    /// Remove a VM from its server (it remains registered, unplaced).
+    pub fn unplace_vm(&mut self, id: VmId) -> Result<usize> {
+        let server = self
+            .placement
+            .remove(&id)
+            .ok_or_else(|| DcError::BadPlacement(format!("VM {id} is not placed")))?;
+        self.hosted[server].retain(|&v| v != id);
+        Ok(server)
+    }
+
+    /// Live-migrate a placed VM to another server, recording the cost.
+    pub fn migrate_vm(&mut self, id: VmId, to: usize) -> Result<MigrationRecord> {
+        let from = self
+            .placement_of(id)
+            .ok_or_else(|| DcError::BadPlacement(format!("VM {id} is not placed")))?;
+        if to == from {
+            return Err(DcError::BadPlacement(format!(
+                "VM {id} is already on server {to}"
+            )));
+        }
+        self.unplace_vm(id)?;
+        match self.place_vm(id, to) {
+            Ok(()) => {}
+            Err(e) => {
+                // Roll back so the datacenter stays consistent.
+                self.placement.insert(id, from);
+                self.hosted[from].push(id);
+                return Err(e);
+            }
+        }
+        let memory_mib = self.vms[&id].memory_mib;
+        let record = MigrationRecord {
+            vm: id,
+            from: Some(from),
+            to,
+            memory_mib,
+            duration_s: memory_mib / self.migration_bandwidth_mib_s,
+        };
+        self.migrations.push(record.clone());
+        Ok(record)
+    }
+
+    /// Record a migration performed via a separate unplace/place pair (bulk
+    /// plan execution detaches all movers before re-attaching them, so the
+    /// cost cannot be logged by [`DataCenter::migrate_vm`] itself).
+    pub fn note_migration(&mut self, vm: VmId, from: usize, to: usize) -> Result<MigrationRecord> {
+        let memory_mib = self.vm(vm)?.memory_mib;
+        let record = MigrationRecord {
+            vm,
+            from: Some(from),
+            to,
+            memory_mib,
+            duration_s: memory_mib / self.migration_bandwidth_mib_s,
+        };
+        self.migrations.push(record.clone());
+        Ok(record)
+    }
+
+    /// All executed migrations.
+    pub fn migrations(&self) -> &[MigrationRecord] {
+        &self.migrations
+    }
+
+    // ---- power state ------------------------------------------------------
+
+    /// Put an *empty* active server to sleep.
+    pub fn sleep_server(&mut self, server: usize) -> Result<()> {
+        if server >= self.servers.len() {
+            return Err(DcError::UnknownServer(server));
+        }
+        if !self.hosted[server].is_empty() {
+            return Err(DcError::Invalid(format!(
+                "server {server} still hosts {} VMs",
+                self.hosted[server].len()
+            )));
+        }
+        if self.servers[server].is_active() {
+            self.servers[server].state = ServerState::Sleeping;
+            self.sleep_count += 1;
+        }
+        Ok(())
+    }
+
+    /// Wake a sleeping server (to its maximum frequency; the next DVFS pass
+    /// throttles it down).
+    pub fn wake_server(&mut self, server: usize) -> Result<()> {
+        if server >= self.servers.len() {
+            return Err(DcError::UnknownServer(server));
+        }
+        if !self.servers[server].is_active() {
+            let spec = &self.servers[server].spec;
+            self.wake_energy_wh += spec.power.static_watts * spec.wake_latency_s / 3600.0;
+            let f = spec.max_freq_ghz;
+            self.servers[server].state = ServerState::Active { freq_ghz: f };
+            self.wake_count += 1;
+        }
+        Ok(())
+    }
+
+    /// Number of wake transitions so far.
+    pub fn wake_count(&self) -> u64 {
+        self.wake_count
+    }
+
+    /// Number of sleep transitions so far.
+    pub fn sleep_count(&self) -> u64 {
+        self.sleep_count
+    }
+
+    /// Energy consumed by wake transitions so far (Wh): each wake burns the
+    /// server's static power for its wake latency (S3 resume + readiness).
+    pub fn wake_energy_wh(&self) -> f64 {
+        self.wake_energy_wh
+    }
+
+    /// Run the CPU resource arbitrator on every active server: set each to
+    /// the lowest DVFS level covering its aggregate demand, and sleep-idle
+    /// servers if `sleep_idle` is set.
+    pub fn apply_dvfs(&mut self, sleep_idle: bool) -> Result<()> {
+        for s in 0..self.servers.len() {
+            if !self.servers[s].is_active() {
+                continue;
+            }
+            if self.hosted[s].is_empty() && sleep_idle {
+                self.sleep_server(s)?;
+                continue;
+            }
+            let demand = self.server_demand_ghz(s)?;
+            let f = self.arbitrator.choose_frequency(&self.servers[s].spec, demand);
+            self.servers[s].state = ServerState::Active { freq_ghz: f };
+        }
+        Ok(())
+    }
+
+    // ---- power & energy ---------------------------------------------------
+
+    /// Instantaneous power of one server (watts).
+    pub fn server_power_watts(&self, server: usize) -> Result<f64> {
+        let demand = self.server_demand_ghz(server)?;
+        Ok(self.servers[server].power_watts(demand))
+    }
+
+    /// Instantaneous total power (watts) across all servers.
+    pub fn total_power_watts(&self) -> f64 {
+        (0..self.servers.len())
+            .map(|s| {
+                self.server_power_watts(s)
+                    .expect("index in range by construction")
+            })
+            .sum()
+    }
+
+    /// Advance accounting time by `dt_s` seconds at the current power draw.
+    pub fn accumulate_energy(&mut self, dt_s: f64) {
+        let dt = dt_s.max(0.0);
+        self.energy_wh += self.total_power_watts() * dt / 3600.0;
+        self.elapsed_s += dt;
+    }
+
+    /// Total energy consumed so far (watt-hours).
+    pub fn energy_wh(&self) -> f64 {
+        self.energy_wh
+    }
+
+    /// Accounted simulation time (seconds).
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+}
+
+impl Default for DataCenter {
+    fn default() -> Self {
+        DataCenter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerSpec;
+
+    fn dc_with(n_quad: usize) -> DataCenter {
+        let mut dc = DataCenter::new();
+        for _ in 0..n_quad {
+            dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        }
+        dc
+    }
+
+    #[test]
+    fn add_and_query_topology() {
+        let mut dc = dc_with(2);
+        assert_eq!(dc.n_servers(), 2);
+        assert!(dc.server(5).is_err());
+        dc.add_vm(VmSpec::new(1, 1.0, 1024.0)).unwrap();
+        assert_eq!(dc.n_vms(), 1);
+        assert!(dc.add_vm(VmSpec::new(1, 2.0, 512.0)).is_err());
+        assert!(dc.vm(VmId(9)).is_err());
+        assert_eq!(dc.placement_of(VmId(1)), None);
+    }
+
+    #[test]
+    fn placement_and_demand_aggregation() {
+        let mut dc = dc_with(1);
+        dc.add_vm(VmSpec::new(1, 1.5, 1024.0)).unwrap();
+        dc.add_vm(VmSpec::new(2, 2.0, 2048.0)).unwrap();
+        dc.place_vm(VmId(1), 0).unwrap();
+        dc.place_vm(VmId(2), 0).unwrap();
+        assert_eq!(dc.server_demand_ghz(0).unwrap(), 3.5);
+        assert_eq!(dc.server_memory_mib(0).unwrap(), 3072.0);
+        assert!(!dc.is_overloaded(0).unwrap());
+        dc.set_vm_demand(VmId(1), 11.0).unwrap();
+        assert!(dc.is_overloaded(0).unwrap());
+        // Double placement rejected.
+        assert!(dc.place_vm(VmId(1), 0).is_err());
+    }
+
+    #[test]
+    fn memory_constraint_enforced() {
+        let mut dc = dc_with(1); // 16384 MiB
+        dc.add_vm(VmSpec::new(1, 0.5, 16000.0)).unwrap();
+        dc.add_vm(VmSpec::new(2, 0.5, 1000.0)).unwrap();
+        dc.place_vm(VmId(1), 0).unwrap();
+        let err = dc.place_vm(VmId(2), 0).unwrap_err();
+        assert!(matches!(err, DcError::Invalid(_)));
+    }
+
+    #[test]
+    fn placing_on_sleeping_server_wakes_it() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::asleep(ServerSpec::type_dual_2ghz()));
+        dc.add_vm(VmSpec::new(1, 1.0, 512.0)).unwrap();
+        assert!(dc.active_servers().is_empty());
+        dc.place_vm(VmId(1), 0).unwrap();
+        assert_eq!(dc.active_servers(), vec![0]);
+        assert_eq!(dc.wake_count(), 1);
+    }
+
+    #[test]
+    fn migration_moves_vm_and_records_cost() {
+        let mut dc = dc_with(2);
+        dc.set_migration_bandwidth(100.0);
+        dc.add_vm(VmSpec::new(1, 1.0, 2000.0)).unwrap();
+        dc.place_vm(VmId(1), 0).unwrap();
+        let rec = dc.migrate_vm(VmId(1), 1).unwrap();
+        assert_eq!(rec.from, Some(0));
+        assert_eq!(rec.to, 1);
+        assert!((rec.duration_s - 20.0).abs() < 1e-12);
+        assert_eq!(dc.placement_of(VmId(1)), Some(1));
+        assert!(dc.hosted_vms(0).unwrap().is_empty());
+        assert_eq!(dc.migrations().len(), 1);
+        // Self-migration rejected.
+        assert!(dc.migrate_vm(VmId(1), 1).is_err());
+        // Unplaced VM rejected.
+        dc.add_vm(VmSpec::new(2, 1.0, 512.0)).unwrap();
+        assert!(dc.migrate_vm(VmId(2), 0).is_err());
+    }
+
+    #[test]
+    fn migration_rolls_back_on_destination_overflow() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz())); // 16 GiB
+        dc.add_server(Server::active(ServerSpec::type_dual_1_5ghz())); // 4 GiB
+        dc.add_vm(VmSpec::new(1, 1.0, 8000.0)).unwrap();
+        dc.place_vm(VmId(1), 0).unwrap();
+        assert!(dc.migrate_vm(VmId(1), 1).is_err());
+        // VM must still be on server 0.
+        assert_eq!(dc.placement_of(VmId(1)), Some(0));
+        assert_eq!(dc.hosted_vms(0).unwrap(), &[VmId(1)]);
+        assert!(dc.migrations().is_empty());
+    }
+
+    #[test]
+    fn sleep_requires_empty_server() {
+        let mut dc = dc_with(1);
+        dc.add_vm(VmSpec::new(1, 1.0, 512.0)).unwrap();
+        dc.place_vm(VmId(1), 0).unwrap();
+        assert!(dc.sleep_server(0).is_err());
+        dc.unplace_vm(VmId(1)).unwrap();
+        dc.sleep_server(0).unwrap();
+        assert!(dc.active_servers().is_empty());
+        assert_eq!(dc.sleep_count(), 1);
+        // Sleeping a sleeping server is a no-op.
+        dc.sleep_server(0).unwrap();
+        assert_eq!(dc.sleep_count(), 1);
+    }
+
+    #[test]
+    fn dvfs_throttles_and_sleeps_idle() {
+        let mut dc = dc_with(2);
+        dc.set_arbitrator(CpuArbitrator::new(0.0));
+        dc.add_vm(VmSpec::new(1, 3.5, 1024.0)).unwrap();
+        dc.place_vm(VmId(1), 0).unwrap();
+        dc.apply_dvfs(true).unwrap();
+        // Server 0: demand 3.5 => 1.0 GHz level (capacity 4.0).
+        match dc.server(0).unwrap().state {
+            ServerState::Active { freq_ghz } => assert_eq!(freq_ghz, 1.0),
+            _ => panic!("server 0 should stay active"),
+        }
+        // Server 1 idle => asleep.
+        assert!(!dc.server(1).unwrap().is_active());
+    }
+
+    #[test]
+    fn power_and_energy_accounting() {
+        let mut dc = dc_with(1);
+        dc.add_vm(VmSpec::new(1, 6.0, 1024.0)).unwrap();
+        dc.place_vm(VmId(1), 0).unwrap();
+        // Active at 3 GHz, u = 0.5: P = 190 + 130*0.5 = 255 W.
+        assert!((dc.total_power_watts() - 255.0).abs() < 1e-9);
+        dc.accumulate_energy(3600.0);
+        assert!((dc.energy_wh() - 255.0).abs() < 1e-9);
+        assert_eq!(dc.elapsed_s(), 3600.0);
+        // Negative dt ignored.
+        dc.accumulate_energy(-5.0);
+        assert_eq!(dc.elapsed_s(), 3600.0);
+    }
+
+    #[test]
+    fn consolidation_saves_energy_end_to_end() {
+        // Two lightly loaded servers vs one consolidated + one asleep.
+        let mut spread = dc_with(2);
+        for i in 0..2 {
+            spread.add_vm(VmSpec::new(i, 1.0, 1024.0)).unwrap();
+            spread.place_vm(VmId(i), i as usize).unwrap();
+        }
+        spread.apply_dvfs(true).unwrap();
+        let mut packed = dc_with(2);
+        for i in 0..2 {
+            packed.add_vm(VmSpec::new(i, 1.0, 1024.0)).unwrap();
+            packed.place_vm(VmId(i), 0).unwrap();
+        }
+        packed.apply_dvfs(true).unwrap();
+        assert!(
+            packed.total_power_watts() < spread.total_power_watts() - 100.0,
+            "packing should save the static power of one server: {} vs {}",
+            packed.total_power_watts(),
+            spread.total_power_watts()
+        );
+    }
+}
+
+#[cfg(test)]
+mod accounting_tests {
+    use super::*;
+    use crate::server::ServerSpec;
+
+    #[test]
+    fn wake_energy_accrues_per_transition() {
+        let mut dc = DataCenter::new();
+        let spec = ServerSpec::type_quad_3ghz();
+        let expected = spec.power.static_watts * spec.wake_latency_s / 3600.0;
+        dc.add_server(Server::asleep(spec));
+        assert_eq!(dc.wake_energy_wh(), 0.0);
+        dc.wake_server(0).unwrap();
+        assert!((dc.wake_energy_wh() - expected).abs() < 1e-12);
+        // Waking an already-active server adds nothing.
+        dc.wake_server(0).unwrap();
+        assert!((dc.wake_energy_wh() - expected).abs() < 1e-12);
+        // Sleep and wake again: a second transition is charged.
+        dc.sleep_server(0).unwrap();
+        dc.wake_server(0).unwrap();
+        assert!((dc.wake_energy_wh() - 2.0 * expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn note_migration_records_cost_without_moving() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        dc.set_migration_bandwidth(100.0);
+        dc.add_vm(VmSpec::new(1, 1.0, 1500.0)).unwrap();
+        dc.place_vm(VmId(1), 0).unwrap();
+        // Simulate a bulk-plan execution: detach, attach, note.
+        dc.unplace_vm(VmId(1)).unwrap();
+        dc.place_vm(VmId(1), 1).unwrap();
+        let rec = dc.note_migration(VmId(1), 0, 1).unwrap();
+        assert_eq!(rec.from, Some(0));
+        assert_eq!(rec.to, 1);
+        assert!((rec.duration_s - 15.0).abs() < 1e-12);
+        assert_eq!(dc.migrations().len(), 1);
+        // Unknown VM is rejected.
+        assert!(dc.note_migration(VmId(99), 0, 1).is_err());
+    }
+}

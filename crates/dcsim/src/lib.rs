@@ -1,0 +1,57 @@
+//! Virtualized data-center substrate: servers, DVFS, power, VMs, migration.
+//!
+//! This crate replaces the paper's physical infrastructure (§VI): Xen 3.3
+//! hosts with DVFS-capable processors, VM live migration, and server
+//! sleep/active states. It provides:
+//!
+//! * [`power`] — parametric server power models `P(f, u)` with static and
+//!   frequency-cubed dynamic components, plus a sleep state;
+//! * [`server`] — the server catalog (the three CPU types of §VI-B: 3 GHz
+//!   quad-core, 2 GHz dual-core, 1.5 GHz dual-core), DVFS frequency
+//!   ladders, runtime server state, and the **CPU resource arbitrator** of
+//!   §IV that picks the lowest frequency satisfying aggregate VM demand;
+//! * [`vm`] — VM descriptors (CPU demand in GHz, memory) as seen by the
+//!   consolidation layer;
+//! * [`datacenter`] — placement state, migration mechanics with cost
+//!   accounting, sleep/wake transitions, and energy integration.
+
+#![warn(missing_docs)]
+
+pub mod datacenter;
+pub mod power;
+pub mod server;
+pub mod vm;
+
+pub use datacenter::{DataCenter, MigrationRecord};
+pub use power::PowerModel;
+pub use server::{CpuArbitrator, Server, ServerSpec, ServerState};
+pub use vm::{VmId, VmSpec};
+
+/// Errors from data-center operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DcError {
+    /// Referenced an unknown VM.
+    UnknownVm(u64),
+    /// Referenced an unknown server.
+    UnknownServer(usize),
+    /// VM is already placed / not placed as required.
+    BadPlacement(String),
+    /// Capacity or configuration violation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for DcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DcError::UnknownVm(id) => write!(f, "unknown VM {id}"),
+            DcError::UnknownServer(id) => write!(f, "unknown server {id}"),
+            DcError::BadPlacement(s) => write!(f, "bad placement: {s}"),
+            DcError::Invalid(s) => write!(f, "invalid: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DcError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, DcError>;

@@ -1,0 +1,86 @@
+//! Virtual-machine descriptors as seen by the consolidation layer.
+//!
+//! A VM here is characterized by the two resources the paper's optimizer
+//! packs: CPU demand (absolute GHz, as determined by the application-level
+//! response-time controller — §IV-A's `c_ij`) and memory footprint (the
+//! administrator-defined constraint of §VII-B). The `app` tag ties tier VMs
+//! back to their application.
+
+use serde::{Deserialize, Serialize};
+
+/// Opaque VM identifier, unique within a [`crate::DataCenter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VmId(pub u64);
+
+impl std::fmt::Display for VmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// Descriptor of one VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// Identifier.
+    pub id: VmId,
+    /// Current CPU demand in GHz (cycles/second / 1e9). Updated at run time
+    /// by the application-level controller or the utilization trace.
+    pub cpu_demand_ghz: f64,
+    /// Memory footprint in MiB (static; drives migration cost and the
+    /// memory packing constraint).
+    pub memory_mib: f64,
+    /// Application this VM belongs to and its tier index, if any.
+    pub app: Option<(u32, u32)>,
+}
+
+impl VmSpec {
+    /// Construct a standalone VM (no application tag).
+    pub fn new(id: u64, cpu_demand_ghz: f64, memory_mib: f64) -> VmSpec {
+        VmSpec {
+            id: VmId(id),
+            cpu_demand_ghz: cpu_demand_ghz.max(0.0),
+            memory_mib: memory_mib.max(0.0),
+            app: None,
+        }
+    }
+
+    /// Construct a tier VM of an application.
+    pub fn for_app(id: u64, app: u32, tier: u32, cpu_demand_ghz: f64, memory_mib: f64) -> VmSpec {
+        VmSpec {
+            app: Some((app, tier)),
+            ..VmSpec::new(id, cpu_demand_ghz, memory_mib)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_clamps_negatives() {
+        let vm = VmSpec::new(1, -0.5, -10.0);
+        assert_eq!(vm.cpu_demand_ghz, 0.0);
+        assert_eq!(vm.memory_mib, 0.0);
+        assert_eq!(vm.app, None);
+    }
+
+    #[test]
+    fn app_tagging() {
+        let vm = VmSpec::for_app(7, 3, 1, 1.2, 2048.0);
+        assert_eq!(vm.id, VmId(7));
+        assert_eq!(vm.app, Some((3, 1)));
+        assert_eq!(format!("{}", vm.id), "vm7");
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(VmId(1));
+        set.insert(VmId(2));
+        set.insert(VmId(1));
+        assert_eq!(set.len(), 2);
+        assert!(VmId(1) < VmId(2));
+    }
+}

@@ -1,0 +1,168 @@
+//! Least-squares solvers: unconstrained and equality-constrained.
+//!
+//! `lstsq` backs the ARX system identification; `lstsq_eq` is the core of
+//! the MPC solve with the paper's terminal constraint `t(k+M|k) = Ts`
+//! (§IV-B): the constraint forces the predicted response time to reach the
+//! set point at the end of the prediction horizon, which guarantees
+//! closed-loop stability in optimal-control theory.
+
+use crate::lu::Lu;
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+use crate::vector::Vector;
+use crate::{LinalgError, Result};
+
+/// Solve `min_x ||A x - b||₂` via Householder QR.
+pub fn lstsq(a: &Matrix, b: &Vector) -> Result<Vector> {
+    Qr::new(a)?.solve(b)
+}
+
+/// Solve the equality-constrained least-squares problem
+///
+/// ```text
+/// min_x ||A x - b||₂   subject to   C x = d
+/// ```
+///
+/// via the KKT system
+///
+/// ```text
+/// [ 2AᵀA  Cᵀ ] [x]   [2Aᵀb]
+/// [  C    0  ] [λ] = [ d  ]
+/// ```
+///
+/// `A` is `m x n`, `C` is `p x n` with `p <= n`. Returns the minimizer `x`.
+/// A small Tikhonov damping is applied to the `AᵀA` block to keep the KKT
+/// matrix invertible when `A` is rank-deficient but the constraint pins the
+/// remaining degrees of freedom.
+pub fn lstsq_eq(a: &Matrix, b: &Vector, c: &Matrix, d: &Vector) -> Result<Vector> {
+    let n = a.cols();
+    let p = c.rows();
+    if c.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "lstsq_eq: constraint columns",
+            got: c.shape(),
+            expected: (p, n),
+        });
+    }
+    if b.len() != a.rows() || d.len() != p {
+        return Err(LinalgError::DimensionMismatch {
+            context: "lstsq_eq: rhs length",
+            got: (b.len(), d.len()),
+            expected: (a.rows(), p),
+        });
+    }
+    if p > n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "lstsq_eq: more constraints than unknowns",
+            got: (p, n),
+            expected: (n, n),
+        });
+    }
+
+    // Assemble the KKT system.
+    let dim = n + p;
+    let mut kkt = Matrix::zeros(dim, dim);
+    let mut g = a.gram();
+    g.scale_mut(2.0);
+    let damping = 1e-10 * g.max_abs().max(1.0);
+    g.add_diag_mut(damping);
+    kkt.set_block(0, 0, &g);
+    kkt.set_block(0, n, &c.transpose());
+    kkt.set_block(n, 0, c);
+
+    let atb = a.tr_matvec(b)?;
+    let mut rhs = vec![0.0; dim];
+    for i in 0..n {
+        rhs[i] = 2.0 * atb[i];
+    }
+    rhs[n..].copy_from_slice(d.as_slice());
+
+    let sol = Lu::new(&kkt)?.solve(&Vector::from_vec(rhs))?;
+    Ok(sol.segment(0, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_matches_qr() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let b = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let x = lstsq(&a, &b).unwrap();
+        // Normal equations: (AᵀA) x = Aᵀ b  =>  [[2,1],[1,2]] x = [4,5]
+        // => x = [1, 2].
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constrained_solution_satisfies_constraint() {
+        // min ||x||² s.t. x0 + x1 = 2  =>  x = [1, 1].
+        let a = Matrix::identity(2);
+        let b = Vector::zeros(2);
+        let c = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let d = Vector::from_slice(&[2.0]);
+        let x = lstsq_eq(&a, &b, &c, &d).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-8);
+        assert!((x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn constraint_binds_even_against_objective() {
+        // Objective pulls x toward (5, 5); constraint x0 - x1 = 4.
+        // Lagrangian optimum: x = (7, 3).
+        let a = Matrix::identity(2);
+        let b = Vector::from_slice(&[5.0, 5.0]);
+        let c = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let d = Vector::from_slice(&[4.0]);
+        let x = lstsq_eq(&a, &b, &c, &d).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-8, "x0 = {}", x[0]);
+        assert!((x[1] - 3.0).abs() < 1e-8, "x1 = {}", x[1]);
+        assert!((x[0] - x[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_limit_matches_lstsq() {
+        // With an always-satisfied constraint 0ᵀx = 0... not allowed (rank),
+        // so instead compare against a constraint that the unconstrained
+        // optimum already satisfies: solution must coincide.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let b = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let xu = lstsq(&a, &b).unwrap(); // [1, 2]
+        let c = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let d = Vector::from_slice(&[xu[0] + xu[1]]);
+        let xc = lstsq_eq(&a, &b, &c, &d).unwrap();
+        assert!((xc[0] - xu[0]).abs() < 1e-7);
+        assert!((xc[1] - xu[1]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = Matrix::identity(2);
+        let b = Vector::zeros(2);
+        // Wrong constraint width.
+        let c = Matrix::from_rows(&[&[1.0, 1.0, 1.0]]);
+        assert!(lstsq_eq(&a, &b, &c, &Vector::zeros(1)).is_err());
+        // More constraints than unknowns.
+        let c2 = Matrix::identity(3);
+        assert!(lstsq_eq(&a, &b, &c2.block(0, 0, 3, 2), &Vector::zeros(3)).is_err());
+        // Wrong rhs length.
+        let c3 = Matrix::from_rows(&[&[1.0, 0.0]]);
+        assert!(lstsq_eq(&a, &Vector::zeros(3), &c3, &Vector::zeros(1)).is_err());
+    }
+
+    #[test]
+    fn multiple_constraints() {
+        // 3 unknowns, 2 constraints: x0 = 1, x1 + x2 = 4; objective pulls all
+        // to zero => x2 = x1 = 2 by symmetry.
+        let a = Matrix::identity(3);
+        let b = Vector::zeros(3);
+        let c = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 1.0]]);
+        let d = Vector::from_slice(&[1.0, 4.0]);
+        let x = lstsq_eq(&a, &b, &c, &d).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-8);
+        assert!((x[1] - 2.0).abs() < 1e-8);
+        assert!((x[2] - 2.0).abs() < 1e-8);
+    }
+}

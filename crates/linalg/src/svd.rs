@@ -1,0 +1,291 @@
+//! Singular value decomposition by one-sided Jacobi rotations.
+//!
+//! For the small dense matrices in this workspace (regressors with a
+//! handful of columns), one-sided Jacobi is simple, numerically excellent
+//! (it computes small singular values to high relative accuracy), and has
+//! no convergence pathologies. It orthogonalizes the columns of `A` by
+//! right rotations until `AᵀA` is diagonal: then the column norms are the
+//! singular values, the normalized columns are `U`, and the accumulated
+//! rotations are `V`.
+//!
+//! Used for: exact condition numbers of identification regressors (the QR
+//! estimate in [`crate::Qr::condition_estimate`] is only a lower bound),
+//! numerical rank, and pseudo-inverse solves of rank-deficient systems.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::{LinalgError, Result};
+
+/// Singular value decomposition `A = U Σ Vᵀ` of an `m × n` matrix
+/// (`m ≥ n`): `u` is `m × n` with orthonormal columns, `sigma` holds the
+/// `n` singular values in descending order, `v` is `n × n` orthogonal.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (`m × n`, orthonormal columns).
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (`n × n`).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Compute the SVD of `a` (requires `rows ≥ cols`; transpose first
+    /// otherwise).
+    pub fn new(a: &Matrix) -> Result<Svd> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Svd::new (needs rows >= cols; transpose first)",
+                got: (m, n),
+                expected: (n, n),
+            });
+        }
+        let mut u = a.clone();
+        let mut v = Matrix::identity(n);
+
+        // One-sided Jacobi sweeps: rotate column pairs (p, q) to zero their
+        // inner product. Converged when every pair is orthogonal relative
+        // to the column norms.
+        const MAX_SWEEPS: usize = 60;
+        let eps = 1e-15;
+        for _ in 0..MAX_SWEEPS {
+            let mut off = 0.0_f64;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Gram entries for the (p, q) pair.
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for r in 0..m {
+                        let up = u[(r, p)];
+                        let uq = u[(r, q)];
+                        app += up * up;
+                        aqq += uq * uq;
+                        apq += up * uq;
+                    }
+                    if apq.abs() <= eps * (app * aqq).sqrt() || apq == 0.0 {
+                        continue;
+                    }
+                    off = off.max(apq.abs() / (app * aqq).sqrt().max(f64::MIN_POSITIVE));
+                    // Jacobi rotation angle.
+                    let zeta = (aqq - app) / (2.0 * apq);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for r in 0..m {
+                        let up = u[(r, p)];
+                        let uq = u[(r, q)];
+                        u[(r, p)] = c * up - s * uq;
+                        u[(r, q)] = s * up + c * uq;
+                    }
+                    for r in 0..n {
+                        let vp = v[(r, p)];
+                        let vq = v[(r, q)];
+                        v[(r, p)] = c * vp - s * vq;
+                        v[(r, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if off < 1e-14 {
+                break;
+            }
+        }
+
+        // Column norms are the singular values; normalize U.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut sigma = vec![0.0; n];
+        for (j, s) in sigma.iter_mut().enumerate() {
+            let norm = (0..m).map(|r| u[(r, j)] * u[(r, j)]).sum::<f64>().sqrt();
+            *s = norm;
+        }
+        order.sort_by(|&a, &b| sigma[b].partial_cmp(&sigma[a]).expect("finite norms"));
+
+        let mut u_sorted = Matrix::zeros(m, n);
+        let mut v_sorted = Matrix::zeros(n, n);
+        let mut sigma_sorted = vec![0.0; n];
+        for (dst, &src) in order.iter().enumerate() {
+            sigma_sorted[dst] = sigma[src];
+            let s = sigma[src];
+            for r in 0..m {
+                u_sorted[(r, dst)] = if s > 0.0 { u[(r, src)] / s } else { 0.0 };
+            }
+            for r in 0..n {
+                v_sorted[(r, dst)] = v[(r, src)];
+            }
+        }
+        Ok(Svd {
+            u: u_sorted,
+            sigma: sigma_sorted,
+            v: v_sorted,
+        })
+    }
+
+    /// Exact 2-norm condition number `σ_max / σ_min` (`INFINITY` for
+    /// rank-deficient matrices).
+    pub fn condition(&self) -> f64 {
+        let max = self.sigma.first().copied().unwrap_or(0.0);
+        let min = self.sigma.last().copied().unwrap_or(0.0);
+        if min <= 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+
+    /// Numerical rank at relative tolerance `rtol` (singular values below
+    /// `rtol · σ_max` count as zero).
+    pub fn rank(&self, rtol: f64) -> usize {
+        let max = self.sigma.first().copied().unwrap_or(0.0);
+        self.sigma.iter().filter(|&&s| s > rtol * max).count()
+    }
+
+    /// Minimum-norm least-squares solve via the pseudo-inverse,
+    /// `x = V Σ⁺ Uᵀ b`, truncating singular values below `rtol · σ_max`.
+    /// Unlike [`crate::Qr::solve`] this handles rank-deficient systems.
+    pub fn pinv_solve(&self, b: &Vector, rtol: f64) -> Result<Vector> {
+        let (m, n) = self.u.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Svd::pinv_solve",
+                got: (b.len(), 1),
+                expected: (m, 1),
+            });
+        }
+        let cutoff = rtol * self.sigma.first().copied().unwrap_or(0.0);
+        // y = Σ⁺ Uᵀ b
+        let mut y = vec![0.0; n];
+        for (j, y_j) in y.iter_mut().enumerate() {
+            if self.sigma[j] > cutoff && self.sigma[j] > 0.0 {
+                let mut dot = 0.0;
+                for r in 0..m {
+                    dot += self.u[(r, j)] * b[r];
+                }
+                *y_j = dot / self.sigma[j];
+            }
+        }
+        // x = V y
+        let mut x = vec![0.0; n];
+        for (r, x_r) in x.iter_mut().enumerate() {
+            for (j, &y_j) in y.iter().enumerate() {
+                *x_r += self.v[(r, j)] * y_j;
+            }
+        }
+        Ok(Vector::from_vec(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(svd: &Svd) -> Matrix {
+        let (m, n) = svd.u.shape();
+        let mut out = Matrix::zeros(m, n);
+        for r in 0..m {
+            for c in 0..n {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += svd.u[(r, j)] * svd.sigma[j] * svd.v[(c, j)];
+                }
+                out[(r, c)] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn diagonal_matrix_svd() {
+        let a = Matrix::diag(&[3.0, 1.0, 2.0]);
+        let svd = Svd::new(&a).unwrap();
+        assert!((svd.sigma[0] - 3.0).abs() < 1e-12);
+        assert!((svd.sigma[1] - 2.0).abs() < 1e-12);
+        assert!((svd.sigma[2] - 1.0).abs() < 1e-12);
+        assert!((svd.condition() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.5],
+            &[3.0, -1.0, 2.0],
+            &[0.0, 4.0, 1.0],
+            &[2.0, 2.0, -3.0],
+        ]);
+        let svd = Svd::new(&a).unwrap();
+        let rec = reconstruct(&svd);
+        assert!((&rec - &a).max_abs() < 1e-10, "reconstruction error");
+        // UᵀU = I, VᵀV = I.
+        let utu = svd.u.transpose().matmul(&svd.u).unwrap();
+        let vtv = svd.v.transpose().matmul(&svd.v).unwrap();
+        let eye = Matrix::identity(3);
+        assert!((&utu - &eye).max_abs() < 1e-10);
+        assert!((&vtv - &eye).max_abs() < 1e-10);
+        // Descending order.
+        assert!(svd.sigma[0] >= svd.sigma[1] && svd.sigma[1] >= svd.sigma[2]);
+    }
+
+    #[test]
+    fn singular_values_match_gram_eigenvalues() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0], &[0.0, 1.0]]);
+        let svd = Svd::new(&a).unwrap();
+        // σᵢ² are the eigenvalues of AᵀA.
+        let g = a.gram();
+        let eigs = crate::eig::eigenvalues(&g).unwrap();
+        let mut ev: Vec<f64> = eigs.iter().map(|z| z.re).collect();
+        ev.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        for (s, e) in svd.sigma.iter().zip(&ev) {
+            assert!((s * s - e).abs() < 1e-8, "{} vs {}", s * s, e);
+        }
+    }
+
+    #[test]
+    fn rank_deficiency_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let svd = Svd::new(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        assert!(svd.condition().is_infinite() || svd.condition() > 1e12);
+    }
+
+    #[test]
+    fn pinv_solves_full_rank_exactly() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0], &[1.0, 1.0]]);
+        let x_true = Vector::from_slice(&[1.0, -2.0]);
+        let b = a.matvec(&x_true).unwrap();
+        let svd = Svd::new(&a).unwrap();
+        let x = svd.pinv_solve(&b, 1e-12).unwrap();
+        assert!((&x - &x_true).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn pinv_gives_minimum_norm_on_rank_deficient() {
+        // A = [[1, 1], [1, 1]] (rank 1): for b = (2, 2) the minimum-norm
+        // solution is x = (1, 1).
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let svd = Svd::new(&a).unwrap();
+        let x = svd
+            .pinv_solve(&Vector::from_slice(&[2.0, 2.0]), 1e-10)
+            .unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(Svd::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn condition_upper_bounds_qr_estimate() {
+        // The QR diagonal estimate never exceeds the true condition number.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.9, 0.5],
+            &[0.9, 1.0, 0.4],
+            &[0.5, 0.4, 1.0],
+            &[0.1, 0.2, 0.3],
+        ]);
+        let svd_cond = Svd::new(&a).unwrap().condition();
+        let qr_cond = crate::qr::Qr::new(&a).unwrap().condition_estimate();
+        assert!(qr_cond <= svd_cond * (1.0 + 1e-9), "{qr_cond} vs {svd_cond}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Property-based tests for the linear-algebra substrate: invariants that
+//! must hold for *any* well-formed input, checked over randomized cases.
+
+use proptest::prelude::*;
+use vdc_linalg::poly::Poly;
+use vdc_linalg::poly as poly_mod;
+use vdc_linalg::{lstsq, lstsq_eq, BoxQp, Cholesky, Lu, Matrix, Qr, Vector};
+
+/// Strategy: a diagonally dominant (well-conditioned) n×n matrix.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data);
+        for i in 0..n {
+            m[(i, i)] += n as f64 + 1.0;
+        }
+        m
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(-10.0f64..10.0, n).prop_map(Vector::from_vec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_residual_small(
+        (a, b) in (2usize..8).prop_flat_map(|n| (dominant_matrix(n), vector(n)))
+    ) {
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        let r = &a.matvec(&x).unwrap() - &b;
+        prop_assert!(r.max_abs() < 1e-9, "residual {}", r.max_abs());
+    }
+
+    #[test]
+    fn lu_det_matches_inverse_consistency(
+        a in (2usize..6).prop_flat_map(dominant_matrix)
+    ) {
+        let lu = Lu::new(&a).unwrap();
+        let det = lu.det();
+        prop_assert!(det.abs() > 1e-9);
+        let inv = lu.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let eye = Matrix::identity(a.rows());
+        prop_assert!((&prod - &eye).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_agrees_with_lu_on_spd(
+        (a, b) in (2usize..7).prop_flat_map(|n| (dominant_matrix(n), vector(n)))
+    ) {
+        // AᵀA + I is SPD.
+        let mut spd = a.gram();
+        spd.add_diag_mut(1.0);
+        let x_ch = Cholesky::new(&spd).unwrap().solve(&b).unwrap();
+        let x_lu = Lu::new(&spd).unwrap().solve(&b).unwrap();
+        let diff = &x_ch - &x_lu;
+        prop_assert!(diff.max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn qr_least_squares_is_optimal(
+        (a_data, b_data) in (2usize..5).prop_flat_map(|n| {
+            let rows = n + 4;
+            (proptest::collection::vec(-1.0f64..1.0, rows * n)
+                .prop_map(move |d| {
+                    let mut m = Matrix::from_vec(rows, n, d);
+                    // Strengthen the diagonal block for full column rank.
+                    for i in 0..n { m[(i, i)] += 3.0; }
+                    m
+                }),
+             proptest::collection::vec(-5.0f64..5.0, rows))
+        })
+    ) {
+        let b = Vector::from_vec(b_data);
+        let x = Qr::new(&a_data).unwrap().solve(&b).unwrap();
+        let base = (&a_data.matvec(&x).unwrap() - &b).norm();
+        // Perturb each coordinate: the residual must not improve.
+        for i in 0..x.len() {
+            for d in [-1e-3, 1e-3] {
+                let mut xp = x.clone();
+                xp[i] += d;
+                let r = (&a_data.matvec(&xp).unwrap() - &b).norm();
+                prop_assert!(r >= base - 1e-9, "perturbation improved residual");
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_eq_constraint_is_satisfied(
+        (a, b, d) in (3usize..6).prop_flat_map(|n| {
+            (dominant_matrix(n), vector(n), -5.0f64..5.0)
+        })
+    ) {
+        // One constraint: sum of x equals d.
+        let n = a.rows();
+        let c = Matrix::filled(1, n, 1.0);
+        let x = lstsq_eq(&a, &b, &c, &Vector::from_slice(&[d])).unwrap();
+        let sum: f64 = x.as_slice().iter().sum();
+        prop_assert!((sum - d).abs() < 1e-6, "constraint violated: {sum} vs {d}");
+    }
+
+    #[test]
+    fn lstsq_exact_system_recovers_solution(
+        (a, x_true) in (2usize..7).prop_flat_map(|n| (dominant_matrix(n), vector(n)))
+    ) {
+        let b = a.matvec(&x_true).unwrap();
+        let x = lstsq(&a, &b).unwrap();
+        let diff = &x - &x_true;
+        prop_assert!(diff.max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn poly_roots_reproduce_polynomial(
+        roots in proptest::collection::vec(-0.95f64..0.95, 1..6)
+    ) {
+        // Build from roots, find roots, evaluate at found roots: |p| small.
+        let p = Poly::from_roots(&roots);
+        let found = p.roots().unwrap();
+        prop_assert_eq!(found.len(), roots.len());
+        for z in found {
+            let v = p.eval_complex(z).abs();
+            prop_assert!(v < 1e-5, "residual at root {v}");
+        }
+    }
+
+    #[test]
+    fn poly_mul_is_eval_compatible(
+        (c1, c2, x) in (
+            proptest::collection::vec(-3.0f64..3.0, 1..5),
+            proptest::collection::vec(-3.0f64..3.0, 1..5),
+            -2.0f64..2.0,
+        )
+    ) {
+        let p = poly_mod::Poly::new(c1);
+        let q = poly_mod::Poly::new(c2);
+        let prod = p.mul(&q);
+        let lhs = prod.eval(x);
+        let rhs = p.eval(x) * q.eval(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn box_qp_solution_is_feasible_and_optimal(
+        (a, f_data, bound) in (2usize..6).prop_flat_map(|n| {
+            (dominant_matrix(n),
+             proptest::collection::vec(-3.0f64..3.0, n),
+             0.1f64..2.0)
+        })
+    ) {
+        let n = a.rows();
+        let mut h = a.gram();
+        h.add_diag_mut(0.5);
+        let f = Vector::from_vec(f_data);
+        let lb = vec![-bound; n];
+        let ub = vec![bound; n];
+        let qp = BoxQp::new(h, f, lb.clone(), ub.clone()).unwrap();
+        let sol = qp.solve().unwrap();
+        // Feasible.
+        for i in 0..n {
+            prop_assert!(sol.x[i] >= lb[i] - 1e-9 && sol.x[i] <= ub[i] + 1e-9);
+        }
+        // Not beaten by projected random perturbations.
+        for i in 0..n {
+            for d in [-1e-3, 1e-3] {
+                let mut xp = sol.x.clone();
+                xp[i] = (xp[i] + d).clamp(lb[i], ub[i]);
+                prop_assert!(qp.objective(&xp) >= sol.objective - 1e-7);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Independent-solver equivalence: Hildreth's dual coordinate ascent
+    /// and the primal active-set method must agree on random SPD box QPs.
+    #[test]
+    fn hildreth_agrees_with_active_set(
+        (a, f_data, bound) in (2usize..6).prop_flat_map(|n| {
+            (dominant_matrix(n),
+             proptest::collection::vec(-3.0f64..3.0, n),
+             0.1f64..2.0)
+        })
+    ) {
+        let n = a.rows();
+        let mut h = a.gram();
+        h.add_diag_mut(0.5);
+        let f = Vector::from_vec(f_data);
+        let lb = vec![-bound; n];
+        let ub = vec![bound; n];
+        let qp = BoxQp::new(h.clone(), f.clone(), lb.clone(), ub.clone()).unwrap();
+        let active = qp.solve().unwrap();
+        let dual = vdc_linalg::hildreth_solve(&h, &f, &lb, &ub, 50_000, 1e-13).unwrap();
+        // Objectives must match (solutions may differ only on flats, which
+        // an SPD Hessian rules out).
+        let obj_dual = qp.objective(&dual.x);
+        prop_assert!(
+            (obj_dual - active.objective).abs() <= 1e-5 * (1.0 + active.objective.abs()),
+            "dual {} vs active-set {}", obj_dual, active.objective
+        );
+        for i in 0..n {
+            prop_assert!((dual.x[i] - active.x[i]).abs() < 1e-4,
+                "x[{i}]: {} vs {}", dual.x[i], active.x[i]);
+        }
+    }
+}

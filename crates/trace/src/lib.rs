@@ -1,0 +1,31 @@
+//! Data-center utilization traces.
+//!
+//! The paper's large-scale evaluation (§VI-B) replays "a trace file
+//! \[recording\] the average CPU utilization of each server every 15 minutes
+//! from 00:00 on July 14th (Monday) to 23:45 on July 20th (Sunday) in
+//! 2008" for 5,415 servers from ten companies across the manufacturing,
+//! telecommunications, financial, and retail sectors, treating each
+//! server's utilization series as the CPU demand of one VM.
+//!
+//! That trace (from SHIP, PACT'09 \[24\]) is proprietary, so this crate
+//! provides:
+//!
+//! * [`generate`] — a statistical generator reproducing the structure that
+//!   matters to consolidation: per-sector diurnal shapes, weekday/weekend
+//!   contrast, heterogeneous per-VM scale, autocorrelated noise, and flash
+//!   crowds ([`generate::TraceConfig::paper_scale`] emits exactly 5,415
+//!   VMs × 672 samples at 15-minute spacing);
+//! * [`store`] — an in-memory trace type ([`store::UtilizationTrace`]) and
+//!   a CSV codec so the real trace can be dropped in if available.
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod sector;
+pub mod stats;
+pub mod store;
+
+pub use generate::{generate_trace, TraceConfig};
+pub use sector::Sector;
+pub use stats::{trace_stats, TraceStats};
+pub use store::{TraceError, UtilizationTrace, VmTraceMeta};

@@ -1,0 +1,149 @@
+//! Trace statistics: the aggregate properties that make a utilization
+//! trace "look like" the SHIP trace the paper replays — used both to
+//! validate the synthetic generator and to characterize user-supplied
+//! CSVs (`vdcpower trace-info`).
+
+use crate::sector::Sector;
+use crate::store::UtilizationTrace;
+
+/// Aggregate statistics of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Mean utilization over all VMs and samples.
+    pub mean_utilization: f64,
+    /// Mean of per-VM peak utilizations.
+    pub mean_peak_utilization: f64,
+    /// Peak-to-mean ratio of the *aggregate* demand curve (burstiness; the
+    /// headroom a consolidator must keep).
+    pub aggregate_peak_to_mean: f64,
+    /// Mean lag-1 autocorrelation across VMs (how predictable consecutive
+    /// 15-minute samples are).
+    pub mean_lag1_autocorrelation: f64,
+    /// VM count per sector.
+    pub sector_counts: Vec<(Sector, usize)>,
+    /// Aggregate demand (GHz) at each sample — the fleet-sizing input.
+    pub aggregate_demand_ghz: Vec<f64>,
+}
+
+/// Compute [`TraceStats`] for (the first `n_vms` of) a trace.
+pub fn trace_stats(trace: &UtilizationTrace, n_vms: usize) -> TraceStats {
+    let n = n_vms.min(trace.n_vms()).max(1).min(trace.n_vms());
+    let samples = trace.n_samples();
+
+    let mut mean_sum = 0.0;
+    let mut peak_sum = 0.0;
+    let mut rho_sum = 0.0;
+    let mut rho_count = 0usize;
+    let mut sector_counts: Vec<(Sector, usize)> =
+        Sector::ALL.iter().map(|&s| (s, 0)).collect();
+    let mut aggregate = vec![0.0_f64; samples];
+
+    for vm in 0..n {
+        let series = trace.series(vm);
+        let mean = series.iter().sum::<f64>() / samples as f64;
+        let peak = series.iter().fold(0.0_f64, |m, &u| m.max(u));
+        mean_sum += mean;
+        peak_sum += peak;
+
+        let var: f64 = series.iter().map(|u| (u - mean).powi(2)).sum();
+        if var > 1e-12 && samples > 1 {
+            let cov: f64 = series
+                .windows(2)
+                .map(|w| (w[0] - mean) * (w[1] - mean))
+                .sum();
+            rho_sum += cov / var;
+            rho_count += 1;
+        }
+
+        let sector = trace.meta(vm).sector;
+        if let Some(entry) = sector_counts.iter_mut().find(|(s, _)| *s == sector) {
+            entry.1 += 1;
+        }
+        for (t, agg) in aggregate.iter_mut().enumerate() {
+            *agg += trace.demand_ghz(vm, t);
+        }
+    }
+
+    let agg_mean = aggregate.iter().sum::<f64>() / samples as f64;
+    let agg_peak = aggregate.iter().fold(0.0_f64, |m, &v| m.max(v));
+    TraceStats {
+        mean_utilization: mean_sum / n as f64,
+        mean_peak_utilization: peak_sum / n as f64,
+        aggregate_peak_to_mean: if agg_mean > 0.0 { agg_peak / agg_mean } else { 0.0 },
+        mean_lag1_autocorrelation: if rho_count > 0 {
+            rho_sum / rho_count as f64
+        } else {
+            0.0
+        },
+        sector_counts,
+        aggregate_demand_ghz: aggregate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_trace, TraceConfig};
+
+    #[test]
+    fn synthetic_trace_has_ship_like_statistics() {
+        let trace = generate_trace(&TraceConfig::small(300, 42));
+        let stats = trace_stats(&trace, trace.n_vms());
+        // Enterprise servers: moderate mean, clear headroom to peaks.
+        assert!(
+            (0.1..0.7).contains(&stats.mean_utilization),
+            "mean {}",
+            stats.mean_utilization
+        );
+        assert!(stats.mean_peak_utilization > stats.mean_utilization + 0.1);
+        // 15-minute samples are strongly autocorrelated.
+        assert!(stats.mean_lag1_autocorrelation > 0.5);
+        // Aggregate burstiness: diurnal swing means peak/mean in (1.05, 3).
+        assert!(
+            (1.05..3.0).contains(&stats.aggregate_peak_to_mean),
+            "peak/mean {}",
+            stats.aggregate_peak_to_mean
+        );
+        // Every sector is represented at this population size.
+        assert!(stats.sector_counts.iter().all(|&(_, c)| c > 0));
+        let total: usize = stats.sector_counts.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 300);
+        assert_eq!(stats.aggregate_demand_ghz.len(), trace.n_samples());
+    }
+
+    #[test]
+    fn stats_respect_vm_prefix() {
+        let trace = generate_trace(&TraceConfig::small(50, 7));
+        let all = trace_stats(&trace, 50);
+        let half = trace_stats(&trace, 25);
+        let total_half: usize = half.sector_counts.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total_half, 25);
+        // Aggregate of the prefix is no larger than the whole.
+        for (a, b) in half
+            .aggregate_demand_ghz
+            .iter()
+            .zip(&all.aggregate_demand_ghz)
+        {
+            assert!(a <= b);
+        }
+    }
+
+    #[test]
+    fn aggregate_peaks_during_daytime() {
+        // The diurnal structure must show in the aggregate: the busiest
+        // sample of day 2 falls in working/evening hours (08:00–24:00).
+        let trace = generate_trace(&TraceConfig::small(400, 11));
+        let stats = trace_stats(&trace, 400);
+        let day2 = &stats.aggregate_demand_ghz[96..192];
+        let (peak_idx, _) = day2
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let hour = peak_idx as f64 * 0.25;
+        assert!(
+            (8.0..24.0).contains(&hour),
+            "aggregate peak at hour {hour} of day 2"
+        );
+    }
+}

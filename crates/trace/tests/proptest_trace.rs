@@ -1,0 +1,130 @@
+//! Property-based tests for trace generation and I/O.
+
+use proptest::prelude::*;
+use vdc_trace::{generate_trace, Sector, TraceConfig, UtilizationTrace, VmTraceMeta};
+
+fn meta_strategy() -> impl Strategy<Value = VmTraceMeta> {
+    (
+        prop_oneof![
+            Just(Sector::Manufacturing),
+            Just(Sector::Telecom),
+            Just(Sector::Financial),
+            Just(Sector::Retail),
+        ],
+        0.5f64..8.0,
+        128.0f64..8192.0,
+    )
+        .prop_map(|(sector, nominal_ghz, memory_mib)| VmTraceMeta {
+            sector,
+            nominal_ghz,
+            memory_mib,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_utilization_always_in_unit_range(
+        (n_vms, n_samples, seed) in (1usize..30, 1usize..200, 0u64..10_000)
+    ) {
+        let t = generate_trace(&TraceConfig {
+            n_vms,
+            n_samples,
+            interval_s: 900.0,
+            seed,
+        });
+        prop_assert_eq!(t.n_vms(), n_vms);
+        prop_assert_eq!(t.n_samples(), n_samples);
+        for vm in 0..n_vms {
+            for &u in t.series(vm) {
+                prop_assert!((0.0..=1.0).contains(&u));
+            }
+            prop_assert!(t.meta(vm).nominal_ghz > 0.0);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_arbitrary_traces(
+        (metas, n_samples, seed) in (
+            proptest::collection::vec(meta_strategy(), 1..10),
+            1usize..50,
+            0u64..1000,
+        )
+    ) {
+        // Build a trace with pseudo-random but valid utilizations.
+        let n_vms = metas.len();
+        let mut state = seed.wrapping_add(1);
+        let mut data = Vec::with_capacity(n_vms * n_samples);
+        for _ in 0..n_vms * n_samples {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            data.push(((state >> 11) as f64 / (1u64 << 53) as f64).clamp(0.0, 1.0));
+        }
+        let t = UtilizationTrace::from_parts(n_samples, 900.0, data, metas);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let parsed = UtilizationTrace::read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(parsed.n_vms(), t.n_vms());
+        prop_assert_eq!(parsed.n_samples(), t.n_samples());
+        for vm in 0..t.n_vms() {
+            prop_assert_eq!(parsed.meta(vm).sector, t.meta(vm).sector);
+            prop_assert!((parsed.meta(vm).nominal_ghz - t.meta(vm).nominal_ghz).abs() < 1e-9);
+            for k in 0..n_samples {
+                // 4-decimal CSV precision.
+                prop_assert!((parsed.utilization(vm, k) - t.utilization(vm, k)).abs() < 5e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn head_preserves_prefix(
+        (n_vms, keep, seed) in (2usize..20, 1usize..20, 0u64..1000)
+    ) {
+        let t = generate_trace(&TraceConfig {
+            n_vms,
+            n_samples: 24,
+            interval_s: 900.0,
+            seed,
+        });
+        let h = t.head(keep);
+        prop_assert_eq!(h.n_vms(), keep.min(n_vms));
+        for vm in 0..h.n_vms() {
+            prop_assert_eq!(h.series(vm), t.series(vm));
+        }
+    }
+
+    #[test]
+    fn demand_is_utilization_times_nominal(
+        (n_vms, seed, vm_pick, t_pick) in (1usize..10, 0u64..1000, 0usize..10, 0usize..30)
+    ) {
+        let t = generate_trace(&TraceConfig {
+            n_vms,
+            n_samples: 30,
+            interval_s: 900.0,
+            seed,
+        });
+        let vm = vm_pick % n_vms;
+        let d = t.demand_ghz(vm, t_pick);
+        let expect = t.utilization(vm, t_pick) * t.meta(vm).nominal_ghz;
+        prop_assert!((d - expect).abs() < 1e-12);
+        prop_assert!(d <= t.meta(vm).nominal_ghz + 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Robustness: the CSV reader must reject or accept arbitrary junk
+    /// without panicking.
+    #[test]
+    fn csv_reader_never_panics_on_junk(junk in ".{0,400}") {
+        let _ = UtilizationTrace::read_csv(junk.as_bytes());
+    }
+
+    /// Header-shaped junk with arbitrary bodies must also be panic-free.
+    #[test]
+    fn csv_reader_never_panics_on_near_miss(body in ".{0,300}") {
+        let input = format!("# vdcpower utilization trace: interval_s=900\n{body}\n");
+        let _ = UtilizationTrace::read_csv(input.as_bytes());
+    }
+}

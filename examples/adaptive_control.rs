@@ -1,0 +1,95 @@
+//! Online model adaptation: recursive least squares tracks the plant as the
+//! workload drifts away from the identification conditions.
+//!
+//! The paper identifies eq. (1) once (at concurrency 40) and relies on MPC
+//! feedback for robustness (Figs. 4–5). This example demonstrates the
+//! natural extension the `vdc-control` crate supports: re-estimating the
+//! ARX parameters online with forgetting-factor RLS and hot-swapping the
+//! controller's model.
+//!
+//! ```text
+//! cargo run --example adaptive_control --release
+//! ```
+
+use vdcpower::apptier::monitor::ResponseStats;
+use vdcpower::apptier::{AppSim, WorkloadProfile};
+use vdcpower::control::sysid::RecursiveLeastSquares;
+use vdcpower::control::{MpcConfig, MpcController, ReferenceTrajectory};
+use vdcpower::core::controller::{identify_plant, IdentificationConfig};
+
+fn main() {
+    let profile = WorkloadProfile::rubbos();
+    let period_s = 4.0;
+    let setpoint = 1000.0;
+
+    // Identify at concurrency 40 (the paper's design point).
+    let mut twin = AppSim::new(profile.clone(), 40, &[1.0, 1.0], 3).unwrap();
+    let model = identify_plant(&mut twin, &IdentificationConfig::default(), 17).unwrap();
+    println!(
+        "identified at concurrency 40: gains = [{:.0}, {:.0}] ms/GHz",
+        model.dc_gain(0).unwrap(),
+        model.dc_gain(1).unwrap()
+    );
+
+    // Controller built directly on the raw MPC layer so we can swap models.
+    let reference = ReferenceTrajectory::new(period_s, 3.0 * period_s).unwrap();
+    let cfg = MpcConfig {
+        prediction_horizon: 10,
+        control_horizon: 3,
+        q_weight: 1.0,
+        r_weight: vec![4.0e4; 2],
+        reference,
+        setpoint,
+        c_min: vec![0.3; 2],
+        c_max: vec![3.0; 2],
+        delta_max: Some(0.3),
+        terminal_constraint: true,
+    };
+    let mut mpc = MpcController::new(model.clone(), cfg, &[1.0, 1.0]).unwrap();
+
+    // Forgetting-factor RLS seeded with nothing: it learns from closed-loop
+    // data and periodically refreshes the MPC's model.
+    let mut rls = RecursiveLeastSquares::new(1, 2, 2, 0.985, 1e5).unwrap();
+
+    // The plant runs at concurrency 70 — far from the design point.
+    let mut plant = AppSim::new(profile, 70, &[1.0, 1.0], 11).unwrap();
+    let mut tail = Vec::new();
+    println!("\nrunning at concurrency 70 with online adaptation:");
+    for k in 0..150 {
+        plant.set_allocations(mpc.current_allocation()).unwrap();
+        plant.run_for(period_s);
+        let stats = ResponseStats::from_samples(plant.take_completed());
+        if stats.is_empty() {
+            continue;
+        }
+        let t_ms = stats.p90() * 1000.0;
+        rls.observe(mpc.current_allocation(), t_ms).unwrap();
+        let step = mpc.step(t_ms).unwrap();
+
+        // Every 25 periods, refresh the controller's model from RLS (if the
+        // estimate is sane: stable AR part and negative gains).
+        if k % 25 == 24 {
+            if let Ok(est) = rls.model() {
+                let stable = est.a().iter().map(|a| a.abs()).sum::<f64>() < 1.0;
+                let negative_gains =
+                    (0..2).all(|ch| est.dc_gain(ch).map(|g| g < 0.0).unwrap_or(false));
+                if stable && negative_gains {
+                    println!(
+                        "  k={k:3}: swapped in RLS model, gains = [{:.0}, {:.0}] ms/GHz",
+                        est.dc_gain(0).unwrap(),
+                        est.dc_gain(1).unwrap()
+                    );
+                    mpc.update_model(est).unwrap();
+                }
+            }
+        }
+        if k >= 110 {
+            tail.push(t_ms);
+        }
+        let _ = step;
+    }
+    let mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
+    println!(
+        "\nsteady-state p90 at concurrency 70: {mean:.0} ms (set point {setpoint} ms)"
+    );
+}

@@ -1,0 +1,23 @@
+//! `vdcpower` — performance-assured power optimization for virtualized data
+//! centers.
+//!
+//! Facade crate re-exporting the workspace members. See the crate-level
+//! documentation of [`core`] (the integrated runtime) for the architecture,
+//! and `README.md` / `DESIGN.md` for the map from the paper (Wang & Wang,
+//! ICPP 2010) to modules.
+//!
+//! ```
+//! // The quickstart example lives in examples/quickstart.rs; a minimal
+//! // smoke check that the facade exposes the substrates:
+//! use vdcpower::linalg::Matrix;
+//! let eye = Matrix::identity(2);
+//! assert_eq!(eye[(0, 0)], 1.0);
+//! ```
+
+pub use vdc_apptier as apptier;
+pub use vdc_consolidate as consolidate;
+pub use vdc_control as control;
+pub use vdc_core as core;
+pub use vdc_dcsim as dcsim;
+pub use vdc_linalg as linalg;
+pub use vdc_trace as trace;
