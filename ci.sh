@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, release build, full test suite.
+#
+# The whole workspace is std-only with path-only dependencies, so every
+# step runs with the network forbidden. A clean checkout on a machine with
+# a stock Rust toolchain and NO registry access must pass end-to-end; any
+# reintroduced external dependency fails the build step immediately.
+#
+# Exits non-zero on the first failing step.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --check
+run cargo clippy --all-targets --offline -- -D warnings
+run cargo build --release --offline
+run cargo test -q --offline
+
+echo "==> ci.sh: all gates passed"

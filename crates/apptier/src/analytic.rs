@@ -135,7 +135,8 @@ impl AnalyticPlant {
         let n = expected.floor() as usize;
         self.pending_time_s -= n as f64 / x;
         for _ in 0..n.min(Self::MAX_SAMPLES_PER_FLUSH) {
-            self.completed.push(self.rng.lognormal(mean, self.response_cv));
+            self.completed
+                .push(self.rng.lognormal(mean, self.response_cv));
         }
     }
 }
@@ -189,9 +190,7 @@ mod tests {
     #[test]
     fn validation() {
         assert!(AnalyticPlant::new(WorkloadProfile::rubbos(), 10, &[1.0], 0.4, 1).is_err());
-        assert!(
-            AnalyticPlant::new(WorkloadProfile::rubbos(), 10, &[1.0, 1.0], -0.1, 1).is_err()
-        );
+        assert!(AnalyticPlant::new(WorkloadProfile::rubbos(), 10, &[1.0, 1.0], -0.1, 1).is_err());
         let mut p = plant(10, &[1.0, 1.0]);
         assert!(p.set_allocations(&[1.0]).is_err());
         assert!(p.set_allocations(&[1.0, f64::NAN]).is_err());
@@ -234,7 +233,10 @@ mod tests {
         des.run_for(300.0);
         let p90_d = ResponseStats::from_samples(des.take_completed()).p90();
         let rel = (p90_a - p90_d).abs() / p90_d;
-        assert!(rel < 0.25, "analytic {p90_a:.3}s vs DES {p90_d:.3}s ({rel:.2})");
+        assert!(
+            rel < 0.25,
+            "analytic {p90_a:.3}s vs DES {p90_d:.3}s ({rel:.2})"
+        );
     }
 
     #[test]

@@ -90,13 +90,7 @@ pub fn mva_response_time(
     let demands: Option<Vec<f64>> = demand_cycles
         .iter()
         .zip(alloc_ghz)
-        .map(|(&d, &a)| {
-            if a <= 0.0 {
-                None
-            } else {
-                Some(d / (a * 1e9))
-            }
-        })
+        .map(|(&d, &a)| if a <= 0.0 { None } else { Some(d / (a * 1e9)) })
         .collect();
     mva_closed_network(&demands?, think_time, population).map(|r| r.response_time)
 }

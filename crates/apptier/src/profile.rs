@@ -77,10 +77,7 @@ impl WorkloadProfile {
     /// Construct a validated multi-class profile. All classes must have the
     /// same tier count and positive weights; `tiers` becomes the
     /// weight-averaged demand per tier.
-    pub fn with_classes(
-        classes: Vec<RequestClass>,
-        think_time: f64,
-    ) -> Result<WorkloadProfile> {
+    pub fn with_classes(classes: Vec<RequestClass>, think_time: f64) -> Result<WorkloadProfile> {
         if classes.is_empty() || classes[0].tiers.is_empty() {
             return Err(AppTierError::BadConfig(
                 "profile needs at least one class with at least one tier".into(),
@@ -190,16 +187,28 @@ impl WorkloadProfile {
                     name: "browse".into(),
                     weight: 0.85,
                     tiers: vec![
-                        TierDemand { mean_cycles: 9.0e6, cv: 0.5 },
-                        TierDemand { mean_cycles: 8.0e6, cv: 0.6 },
+                        TierDemand {
+                            mean_cycles: 9.0e6,
+                            cv: 0.5,
+                        },
+                        TierDemand {
+                            mean_cycles: 8.0e6,
+                            cv: 0.6,
+                        },
                     ],
                 },
                 RequestClass {
                     name: "post".into(),
                     weight: 0.15,
                     tiers: vec![
-                        TierDemand { mean_cycles: 22.3e6, cv: 0.7 },
-                        TierDemand { mean_cycles: 41.3e6, cv: 0.9 },
+                        TierDemand {
+                            mean_cycles: 22.3e6,
+                            cv: 0.7,
+                        },
+                        TierDemand {
+                            mean_cycles: 41.3e6,
+                            cv: 0.9,
+                        },
                     ],
                 },
             ],
@@ -262,9 +271,7 @@ mod tests {
         assert!(TierDemand::new(1e6, -0.1).is_err());
         assert!(TierDemand::new(1e6, 0.5).is_ok());
         assert!(WorkloadProfile::new(vec![], 0.0).is_err());
-        assert!(
-            WorkloadProfile::new(vec![TierDemand::new(1e6, 0.5).unwrap()], -1.0).is_err()
-        );
+        assert!(WorkloadProfile::new(vec![TierDemand::new(1e6, 0.5).unwrap()], -1.0).is_err());
         assert!(WorkloadProfile::new(vec![TierDemand::new(1e6, 0.5).unwrap()], 0.1).is_ok());
     }
 

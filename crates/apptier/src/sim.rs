@@ -316,10 +316,7 @@ impl AppSim {
         if self.now <= 0.0 {
             return vec![0.0; self.tiers.len()];
         }
-        self.tiers
-            .iter()
-            .map(|t| t.busy_time / self.now)
-            .collect()
+        self.tiers.iter().map(|t| t.busy_time / self.now).collect()
     }
 
     /// Drain and return the response times (seconds) of requests completed
@@ -742,7 +739,10 @@ mod open_loop_tests {
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let expect = d1 / (1.0 - lambda * d1) + d2 / (1.0 - lambda * d2);
         let rel = (mean - expect).abs() / expect;
-        assert!(rel < 0.12, "mean {mean:.4} vs M/G/1-PS {expect:.4} (rel {rel:.2})");
+        assert!(
+            rel < 0.12,
+            "mean {mean:.4} vs M/G/1-PS {expect:.4} (rel {rel:.2})"
+        );
     }
 
     #[test]
@@ -753,7 +753,10 @@ mod open_loop_tests {
         let q20: usize = sim.queue_lengths().iter().sum();
         sim.run_for(20.0);
         let q40: usize = sim.queue_lengths().iter().sum();
-        assert!(q40 > q20, "overloaded open system must grow: {q20} -> {q40}");
+        assert!(
+            q40 > q20,
+            "overloaded open system must grow: {q20} -> {q40}"
+        );
         assert!(q40 > 100, "queue {q40} should be large");
     }
 

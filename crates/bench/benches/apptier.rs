@@ -1,52 +1,36 @@
-//! Criterion benches for the plant: discrete-event simulation throughput
-//! (events are the dominant cost of the testbed experiments) and the
-//! analytic MVA evaluator.
+//! Benches for the plant: discrete-event simulation throughput (events are
+//! the dominant cost of the testbed experiments) and the analytic MVA
+//! evaluator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vdc_apptier::{mva_closed_network, AppSim, WorkloadProfile};
+use vdc_bench::harness::BenchHarness;
 
-fn bench_des(c: &mut Criterion) {
-    let mut g = c.benchmark_group("des_run_one_period");
-    g.sample_size(20);
+fn bench_des(h: &mut BenchHarness) {
     for concurrency in [10usize, 40, 80] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(concurrency),
-            &concurrency,
-            |bench, &cc| {
-                let mut sim =
-                    AppSim::new(WorkloadProfile::rubbos(), cc, &[1.0, 1.0], 7).unwrap();
-                // Warm up into steady state once.
-                sim.run_for(10.0);
-                sim.take_completed();
-                bench.iter(|| {
-                    sim.run_for(4.0);
-                    black_box(sim.take_completed())
-                })
-            },
-        );
+        let mut sim = AppSim::new(WorkloadProfile::rubbos(), concurrency, &[1.0, 1.0], 7).unwrap();
+        // Warm up into steady state once.
+        sim.run_for(10.0);
+        sim.take_completed();
+        h.bench("des_run_one_period", &concurrency.to_string(), || {
+            sim.run_for(4.0);
+            sim.take_completed()
+        });
     }
-    g.finish();
 }
 
-fn bench_mva(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mva");
+fn bench_mva(h: &mut BenchHarness) {
     for population in [40usize, 400, 4000] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(population),
-            &population,
-            |bench, &n| {
-                let demands = [0.011, 0.013, 0.004];
-                bench.iter(|| black_box(mva_closed_network(&demands, 0.0, n).unwrap()))
-            },
-        );
+        let demands = [0.011, 0.013, 0.004];
+        h.bench("mva", &population.to_string(), || {
+            mva_closed_network(black_box(&demands), 0.0, population).unwrap()
+        });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_des, bench_mva
+fn main() {
+    let mut h = BenchHarness::from_env("apptier");
+    bench_des(&mut h);
+    bench_mva(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

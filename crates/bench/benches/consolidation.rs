@@ -1,12 +1,11 @@
-//! Criterion benches for the consolidation layer (PERF + ABL2 rows of the
+//! Benches for the consolidation layer (PERF + ABL2 rows of the
 //! experiment index): Minimum Slack vs FFD packing cost, the ε / step-cap
 //! sensitivity of Algorithm 1, and full PAC / IPAC / pMapper invocations
 //! at growing data-center sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use vdc_apptier::rng::SimRng;
+use vdc_bench::harness::BenchHarness;
 use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::ffd::first_fit_decreasing;
 use vdc_consolidate::ipac::{ipac_plan, IpacConfig};
@@ -18,24 +17,24 @@ use vdc_consolidate::policy::AlwaysAllow;
 use vdc_dcsim::{ServerSpec, VmId};
 
 fn make_items(n: usize, seed: u64) -> Vec<PackItem> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     (0..n)
         .map(|i| {
             PackItem::new(
                 VmId(i as u64),
-                0.2 + rng.random::<f64>() * 1.8,
-                256.0 + rng.random::<f64>() * 2048.0,
+                0.2 + rng.uniform() * 1.8,
+                256.0 + rng.uniform() * 2048.0,
             )
         })
         .collect()
 }
 
 fn make_servers(n: usize, seed: u64) -> Vec<PackServer> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let catalog = ServerSpec::catalog();
     (0..n)
         .map(|i| {
-            let spec = &catalog[rng.random_range(0..catalog.len())];
+            let spec = rng.pick(&catalog);
             PackServer {
                 index: i,
                 cpu_capacity_ghz: spec.max_capacity_ghz(),
@@ -60,128 +59,94 @@ fn populated(servers: usize, vms: usize, seed: u64) -> Vec<PackServer> {
     s
 }
 
-fn bench_minslack_vs_ffd(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pack_one_server");
+fn bench_minslack_vs_ffd(h: &mut BenchHarness) {
     let constraint = AndConstraint::cpu_and_memory();
     for n in [20usize, 100, 400] {
         let items = make_items(n, 42);
         let server = &make_servers(1, 7)[0];
-        g.bench_with_input(BenchmarkId::new("minimum_slack", n), &n, |bench, _| {
-            bench.iter(|| {
-                black_box(minimum_slack(
-                    server,
-                    &items,
-                    &constraint,
-                    &MinSlackConfig::default(),
-                ))
-            })
+        h.bench("pack_one_server", &format!("minimum_slack_{n}"), || {
+            minimum_slack(
+                black_box(server),
+                &items,
+                &constraint,
+                &MinSlackConfig::default(),
+            )
         });
-        g.bench_with_input(BenchmarkId::new("ffd", n), &n, |bench, _| {
-            bench.iter(|| {
-                let mut s = vec![server.clone()];
-                black_box(first_fit_decreasing(&mut s, &items, &constraint))
-            })
+        h.bench("pack_one_server", &format!("ffd_{n}"), || {
+            let mut s = vec![server.clone()];
+            first_fit_decreasing(&mut s, black_box(&items), &constraint)
         });
     }
-    g.finish();
 }
 
-fn bench_minslack_epsilon(c: &mut Criterion) {
+fn bench_minslack_epsilon(h: &mut BenchHarness) {
     // ABL2: the allowed-slack ε and the step budget trade solution quality
     // for search time (lines 4 and 15–17 of Algorithm 1).
-    let mut g = c.benchmark_group("minslack_epsilon");
     let constraint = AndConstraint::cpu_and_memory();
     let items = make_items(200, 11);
     let server = &make_servers(1, 3)[0];
     for eps in [0.0f64, 0.05, 0.25, 1.0] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("eps{eps}")),
-            &eps,
-            |bench, &eps| {
-                let cfg = MinSlackConfig {
-                    epsilon_ghz: eps,
-                    ..Default::default()
-                };
-                bench.iter(|| black_box(minimum_slack(server, &items, &constraint, &cfg)))
-            },
-        );
+        let cfg = MinSlackConfig {
+            epsilon_ghz: eps,
+            ..Default::default()
+        };
+        h.bench("minslack_epsilon", &format!("eps{eps}"), || {
+            minimum_slack(black_box(server), &items, &constraint, &cfg)
+        });
     }
     for budget in [500u64, 20_000] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("budget{budget}")),
-            &budget,
-            |bench, &budget| {
-                let cfg = MinSlackConfig {
-                    epsilon_ghz: 0.0,
-                    step_budget: budget,
-                    ..Default::default()
-                };
-                bench.iter(|| black_box(minimum_slack(server, &items, &constraint, &cfg)))
-            },
-        );
+        let cfg = MinSlackConfig {
+            epsilon_ghz: 0.0,
+            step_budget: budget,
+            ..Default::default()
+        };
+        h.bench("minslack_epsilon", &format!("budget{budget}"), || {
+            minimum_slack(black_box(server), &items, &constraint, &cfg)
+        });
     }
-    g.finish();
 }
 
-fn bench_pac(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pac_pack");
-    g.sample_size(10);
+fn bench_pac(h: &mut BenchHarness) {
     let constraint = AndConstraint::cpu_and_memory();
     for (servers, vms) in [(50usize, 100usize), (200, 400), (500, 1000)] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{vms}vms_{servers}srv")),
-            &vms,
-            |bench, _| {
-                let base = make_servers(servers, 3);
-                let items = make_items(vms, 4);
-                bench.iter(|| {
-                    let mut s = base.clone();
-                    black_box(pac_pack(
-                        &mut s,
-                        &items,
-                        &constraint,
-                        &MinSlackConfig::default(),
-                    ))
-                })
-            },
-        );
+        let base = make_servers(servers, 3);
+        let items = make_items(vms, 4);
+        h.bench("pac_pack", &format!("{vms}vms_{servers}srv"), || {
+            let mut s = base.clone();
+            pac_pack(
+                &mut s,
+                black_box(&items),
+                &constraint,
+                &MinSlackConfig::default(),
+            )
+        });
     }
-    g.finish();
 }
 
-fn bench_ipac_vs_pmapper(c: &mut Criterion) {
-    let mut g = c.benchmark_group("invocation");
-    g.sample_size(10);
+fn bench_ipac_vs_pmapper(h: &mut BenchHarness) {
     let constraint = AndConstraint::cpu_and_memory();
     for (servers, vms) in [(50usize, 100usize), (200, 400), (500, 1000)] {
         let snap = populated(servers, vms, 9);
-        g.bench_with_input(
-            BenchmarkId::new("ipac", format!("{vms}vms")),
-            &vms,
-            |bench, _| {
-                bench.iter(|| {
-                    black_box(ipac_plan(
-                        &snap,
-                        &[],
-                        &constraint,
-                        &AlwaysAllow,
-                        &IpacConfig::default(),
-                    ))
-                })
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("pmapper", format!("{vms}vms")),
-            &vms,
-            |bench, _| bench.iter(|| black_box(pmapper_plan(&snap, &[], &constraint))),
-        );
+        h.bench("invocation", &format!("ipac_{vms}vms"), || {
+            ipac_plan(
+                black_box(&snap),
+                &[],
+                &constraint,
+                &AlwaysAllow,
+                &IpacConfig::default(),
+            )
+        });
+        h.bench("invocation", &format!("pmapper_{vms}vms"), || {
+            pmapper_plan(black_box(&snap), &[], &constraint)
+        });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_minslack_vs_ffd, bench_minslack_epsilon, bench_pac, bench_ipac_vs_pmapper
+fn main() {
+    let mut h = BenchHarness::from_env("consolidation");
+    bench_minslack_vs_ffd(&mut h);
+    bench_minslack_epsilon(&mut h);
+    bench_pac(&mut h);
+    bench_ipac_vs_pmapper(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

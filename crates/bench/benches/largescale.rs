@@ -1,47 +1,41 @@
-//! Criterion benches for the large-scale machinery: trace generation,
-//! overload relief, and one full optimizer invocation against a populated
-//! data center (the cost paid every 4 simulated hours in Fig. 6).
+//! Benches for the large-scale machinery: trace generation, overload
+//! relief, and one full optimizer invocation against a populated data
+//! center (the cost paid every 4 simulated hours in Fig. 6).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vdc_apptier::rng::SimRng;
+use vdc_bench::harness::BenchHarness;
 use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
 use vdc_consolidate::view::snapshot;
 use vdc_core::optimizer::{OptimizerConfig, PowerOptimizer};
-use vdc_trace::{generate_trace, TraceConfig};
 use vdc_dcsim::{DataCenter, Server, ServerSpec, VmId, VmSpec};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use vdc_trace::{generate_trace, TraceConfig};
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_generate");
-    g.sample_size(10);
+fn bench_trace_generation(h: &mut BenchHarness) {
     for n_vms in [100usize, 1000] {
-        g.bench_with_input(BenchmarkId::from_parameter(n_vms), &n_vms, |bench, &n| {
-            bench.iter(|| {
-                black_box(generate_trace(&TraceConfig {
-                    n_vms: n,
-                    n_samples: 672,
-                    interval_s: 900.0,
-                    seed: 7,
-                }))
-            })
+        h.bench("trace_generate", &n_vms.to_string(), || {
+            generate_trace(black_box(&TraceConfig {
+                n_vms,
+                n_samples: 672,
+                interval_s: 900.0,
+                seed: 7,
+            }))
         });
     }
-    g.finish();
 }
 
 /// A populated data center with some overloaded servers.
 fn pressured_dc(n_servers: usize, n_vms: usize, seed: u64) -> DataCenter {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let catalog = ServerSpec::catalog();
     let mut dc = DataCenter::new();
     for _ in 0..n_servers {
-        let spec = catalog[rng.random_range(0..catalog.len())].clone();
+        let spec = rng.pick(&catalog).clone();
         dc.add_server(Server::active(spec));
     }
     for i in 0..n_vms {
-        let demand = 0.3 + rng.random::<f64>() * 1.2;
+        let demand = 0.3 + rng.uniform() * 1.2;
         dc.add_vm(VmSpec::new(i as u64, demand, 512.0)).unwrap();
         // Round-robin placement ignores balance: some servers overload.
         let mut placed = false;
@@ -61,58 +55,39 @@ fn pressured_dc(n_servers: usize, n_vms: usize, seed: u64) -> DataCenter {
     dc
 }
 
-fn bench_relief(c: &mut Criterion) {
-    let mut g = c.benchmark_group("overload_relief");
-    g.sample_size(20);
+fn bench_relief(h: &mut BenchHarness) {
     let constraint = AndConstraint::cpu_and_memory();
     for (servers, vms) in [(50usize, 150usize), (200, 600)] {
         let dc = pressured_dc(servers, vms, 3);
         let snap = snapshot(&dc);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{vms}vms_{servers}srv")),
-            &vms,
-            |bench, _| {
-                bench.iter(|| {
-                    black_box(relieve_overloads(
-                        &snap,
-                        &constraint,
-                        &ReliefConfig::default(),
-                    ))
-                })
-            },
-        );
+        h.bench("overload_relief", &format!("{vms}vms_{servers}srv"), || {
+            relieve_overloads(black_box(&snap), &constraint, &ReliefConfig::default())
+        });
     }
-    g.finish();
 }
 
-fn bench_optimizer_invocation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("optimizer_invocation_plan");
-    g.sample_size(10);
+fn bench_optimizer_invocation(h: &mut BenchHarness) {
     for (servers, vms) in [(100usize, 300usize), (400, 1200)] {
         let dc = pressured_dc(servers, vms, 5);
-        g.bench_with_input(
-            BenchmarkId::new("ipac", format!("{vms}vms")),
-            &vms,
-            |bench, _| {
-                let opt = PowerOptimizer::new(OptimizerConfig::ipac_default());
-                bench.iter(|| black_box(opt.plan(&dc, &[])))
-            },
+        let ipac = PowerOptimizer::new(OptimizerConfig::ipac_default());
+        h.bench(
+            "optimizer_invocation_plan",
+            &format!("ipac_{vms}vms"),
+            || ipac.plan(black_box(&dc), &[]),
         );
-        g.bench_with_input(
-            BenchmarkId::new("pmapper", format!("{vms}vms")),
-            &vms,
-            |bench, _| {
-                let opt = PowerOptimizer::new(OptimizerConfig::pmapper_default());
-                bench.iter(|| black_box(opt.plan(&dc, &[])))
-            },
+        let pmapper = PowerOptimizer::new(OptimizerConfig::pmapper_default());
+        h.bench(
+            "optimizer_invocation_plan",
+            &format!("pmapper_{vms}vms"),
+            || pmapper.plan(black_box(&dc), &[]),
         );
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_trace_generation, bench_relief, bench_optimizer_invocation
+fn main() {
+    let mut h = BenchHarness::from_env("largescale");
+    bench_trace_generation(&mut h);
+    bench_relief(&mut h);
+    bench_optimizer_invocation(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion benches for the dense linear-algebra substrate (PERF row of
-//! the experiment index): factorization and solve costs at the sizes the
-//! MPC controller uses every control period.
+//! Benches for the dense linear-algebra substrate (PERF row of the
+//! experiment index): factorization and solve costs at the sizes the MPC
+//! controller uses every control period.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vdc_bench::harness::BenchHarness;
 use vdc_linalg::{eigenvalues, lstsq, BoxQp, Cholesky, Lu, Matrix, Vector};
 
 fn well_conditioned(n: usize) -> Matrix {
@@ -21,23 +21,18 @@ fn well_conditioned(n: usize) -> Matrix {
     m
 }
 
-fn bench_lu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lu_solve");
+fn bench_lu(h: &mut BenchHarness) {
     for n in [8usize, 16, 32] {
         let a = well_conditioned(n);
         let b: Vector = (0..n).map(|i| i as f64).collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| {
-                let lu = Lu::new(black_box(&a)).unwrap();
-                black_box(lu.solve(&b).unwrap())
-            })
+        h.bench("lu_solve", &n.to_string(), || {
+            let lu = Lu::new(black_box(&a)).unwrap();
+            lu.solve(&b).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_lstsq(c: &mut Criterion) {
-    let mut g = c.benchmark_group("qr_lstsq");
+fn bench_lstsq(h: &mut BenchHarness) {
     for (rows, cols) in [(60usize, 6usize), (200, 8), (400, 12)] {
         let mut a = Matrix::zeros(rows, cols);
         let mut state: u64 = 1;
@@ -48,33 +43,25 @@ fn bench_lstsq(c: &mut Criterion) {
             }
         }
         let b: Vector = (0..rows).map(|i| (i % 7) as f64).collect();
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
-            &rows,
-            |bench, _| bench.iter(|| black_box(lstsq(&a, &b).unwrap())),
-        );
+        h.bench("qr_lstsq", &format!("{rows}x{cols}"), || {
+            lstsq(black_box(&a), &b).unwrap()
+        });
     }
-    g.finish();
 }
 
-fn bench_cholesky(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cholesky_solve");
+fn bench_cholesky(h: &mut BenchHarness) {
     for n in [6usize, 12, 24] {
         let a = well_conditioned(n);
         let spd = a.gram();
         let b: Vector = (0..n).map(|i| i as f64).collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| {
-                let ch = Cholesky::new(black_box(&spd)).unwrap();
-                black_box(ch.solve(&b).unwrap())
-            })
+        h.bench("cholesky_solve", &n.to_string(), || {
+            let ch = Cholesky::new(black_box(&spd)).unwrap();
+            ch.solve(&b).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_eigenvalues(c: &mut Criterion) {
-    let mut g = c.benchmark_group("eigenvalues");
+fn bench_eigenvalues(h: &mut BenchHarness) {
     for n in [3usize, 6, 10] {
         let mut a = well_conditioned(n);
         // Spread the spectrum: clustered eigenvalues are a root-finding
@@ -82,29 +69,27 @@ fn bench_eigenvalues(c: &mut Criterion) {
         for i in 0..n {
             a[(i, i)] += 2.0 * i as f64;
         }
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| black_box(eigenvalues(&a).unwrap()))
+        h.bench("eigenvalues", &n.to_string(), || {
+            eigenvalues(black_box(&a)).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_box_qp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("box_qp");
+fn bench_box_qp(h: &mut BenchHarness) {
     for n in [6usize, 12] {
-        let h = well_conditioned(n).gram();
+        let hm = well_conditioned(n).gram();
         let f: Vector = (0..n).map(|i| -(i as f64) - 1.0).collect();
-        let qp = BoxQp::new(h, f, vec![-0.2; n], vec![0.2; n]).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| black_box(qp.solve().unwrap()))
-        });
+        let qp = BoxQp::new(hm, f, vec![-0.2; n], vec![0.2; n]).unwrap();
+        h.bench("box_qp", &n.to_string(), || black_box(&qp).solve().unwrap());
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_lu, bench_lstsq, bench_cholesky, bench_eigenvalues, bench_box_qp
+fn main() {
+    let mut h = BenchHarness::from_env("linalg");
+    bench_lu(&mut h);
+    bench_lstsq(&mut h);
+    bench_cholesky(&mut h);
+    bench_eigenvalues(&mut h);
+    bench_box_qp(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion benches for the control layer: the cost of one MPC control
-//! step (the per-period overhead every application controller pays) and of
+//! Benches for the control layer: the cost of one MPC control step (the
+//! per-period overhead every application controller pays) and of
 //! batch/recursive system identification.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vdc_bench::harness::BenchHarness;
 use vdc_control::sysid::{fit_arx, ExperimentData, Prbs, RecursiveLeastSquares};
 use vdc_control::{ArxModel, MpcConfig, MpcController, ReferenceTrajectory};
 
@@ -30,36 +30,26 @@ fn controller(m: usize, horizon: (usize, usize)) -> MpcController {
     MpcController::new(model_with_inputs(m), cfg, &vec![1.0; m]).unwrap()
 }
 
-fn bench_mpc_step(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mpc_step");
+fn bench_mpc_step(h: &mut BenchHarness) {
     for (m, p, mh) in [(2usize, 10usize, 3usize), (3, 10, 3), (4, 16, 4)] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("tiers{m}_P{p}_M{mh}")),
-            &m,
-            |bench, _| {
-                let mut ctrl = controller(m, (p, mh));
-                let mut t = 1800.0;
-                bench.iter(|| {
-                    let step = ctrl.step(black_box(t)).unwrap();
-                    // Keep the measurement wandering so the solve stays hot.
-                    t = 900.0 + (t * 1.3) % 600.0;
-                    black_box(step)
-                })
-            },
-        );
+        let mut ctrl = controller(m, (p, mh));
+        let mut t = 1800.0;
+        h.bench("mpc_step", &format!("tiers{m}_P{p}_M{mh}"), || {
+            let step = ctrl.step(black_box(t)).unwrap();
+            // Keep the measurement wandering so the solve stays hot.
+            t = 900.0 + (t * 1.3) % 600.0;
+            step
+        });
     }
-    g.finish();
 }
 
-fn bench_mpc_step_saturated(c: &mut Criterion) {
+fn bench_mpc_step_saturated(h: &mut BenchHarness) {
     // Force the box-QP fallback path by demanding an unreachable set point.
-    let mut g = c.benchmark_group("mpc_step_saturated");
-    g.bench_function("tiers2_P10_M3", |bench| {
-        let mut ctrl = controller(2, (10, 3));
-        ctrl.set_setpoint(1.0);
-        bench.iter(|| black_box(ctrl.step(black_box(2500.0)).unwrap()))
+    let mut ctrl = controller(2, (10, 3));
+    ctrl.set_setpoint(1.0);
+    h.bench("mpc_step_saturated", "tiers2_P10_M3", || {
+        ctrl.step(black_box(2500.0)).unwrap()
     });
-    g.finish();
 }
 
 fn ident_data(n: usize) -> ExperimentData {
@@ -80,30 +70,27 @@ fn ident_data(n: usize) -> ExperimentData {
     data
 }
 
-fn bench_sysid(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sysid");
+fn bench_sysid(h: &mut BenchHarness) {
     for n in [200usize, 1000] {
         let data = ident_data(n);
-        g.bench_with_input(BenchmarkId::new("fit_arx", n), &n, |bench, _| {
-            bench.iter(|| black_box(fit_arx(&data, 1, 2).unwrap()))
+        h.bench("sysid", &format!("fit_arx_{n}"), || {
+            fit_arx(black_box(&data), 1, 2).unwrap()
         });
     }
     let data = ident_data(500);
-    g.bench_function("rls_500_updates", |bench| {
-        bench.iter(|| {
-            let mut rls = RecursiveLeastSquares::new(1, 2, 2, 0.98, 1e6).unwrap();
-            for (c, &t) in data.inputs().iter().zip(data.outputs()) {
-                rls.observe(c, t).unwrap();
-            }
-            black_box(rls.model().unwrap())
-        })
+    h.bench("sysid", "rls_500_updates", || {
+        let mut rls = RecursiveLeastSquares::new(1, 2, 2, 0.98, 1e6).unwrap();
+        for (c, &t) in data.inputs().iter().zip(data.outputs()) {
+            rls.observe(c, t).unwrap();
+        }
+        rls.model().unwrap()
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_mpc_step, bench_mpc_step_saturated, bench_sysid
+fn main() {
+    let mut h = BenchHarness::from_env("mpc");
+    bench_mpc_step(&mut h);
+    bench_mpc_step_saturated(&mut h);
+    bench_sysid(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

@@ -58,7 +58,10 @@ fn main() {
         "scheme", "Wh/app", "track err", "violations", "mean srv"
     );
     rule(78);
-    for (name, r) in [("MPC + IPAC + DVFS", &dynamic), ("static peak + IPAC", &static_peak)] {
+    for (name, r) in [
+        ("MPC + IPAC + DVFS", &dynamic),
+        ("static peak + IPAC", &static_peak),
+    ] {
         println!(
             "{:<22} {:>13.1} {:>10.0} ms {:>11.2}% {:>12.1}",
             name,

@@ -32,7 +32,10 @@ fn main() {
     );
     let result = fig2(&cfg, warmup, measure).expect("fig2 experiment failed");
     rule(46);
-    println!("{:<8} {:>12} {:>10} {:>8}", "App", "mean (ms)", "std (ms)", "n");
+    println!(
+        "{:<8} {:>12} {:>10} {:>8}",
+        "App", "mean (ms)", "std (ms)", "n"
+    );
     rule(46);
     for (i, m) in result.per_app.iter().enumerate() {
         println!(

@@ -34,8 +34,7 @@ fn main() {
         "surge: concurrency {} → {} during [{:.0}, {:.0}) s of a {:.0} s run",
         cfg.concurrency, surge_c, surge_start, surge_end, total_s
     );
-    let result =
-        fig3(&cfg, app, total_s, surge_start, surge_end, surge_c).expect("fig3 failed");
+    let result = fig3(&cfg, app, total_s, surge_start, surge_end, surge_c).expect("fig3 failed");
 
     rule(54);
     println!(
@@ -44,15 +43,25 @@ fn main() {
     );
     rule(54);
     // Print every 20 s to keep the table readable.
-    for p in result.series.iter().filter(|p| (p.time_s as u64).is_multiple_of(20)) {
+    for p in result
+        .series
+        .iter()
+        .filter(|p| (p.time_s as u64).is_multiple_of(20))
+    {
         let phase = if p.time_s >= surge_start && p.time_s < surge_end {
             "SURGE"
         } else {
             ""
         };
         match p.response_ms {
-            Some(t) => println!("{:>8.0} {:>16.0} {:>12.1}  {}", p.time_s, t, p.power_w, phase),
-            None => println!("{:>8.0} {:>16} {:>12.1}  {}", p.time_s, "-", p.power_w, phase),
+            Some(t) => println!(
+                "{:>8.0} {:>16.0} {:>12.1}  {}",
+                p.time_s, t, p.power_w, phase
+            ),
+            None => println!(
+                "{:>8.0} {:>16} {:>12.1}  {}",
+                p.time_s, "-", p.power_w, phase
+            ),
         }
     }
     rule(54);
@@ -91,7 +100,13 @@ fn main() {
     // pre-surge equilibrium (what a controller-less scheme experiences).
     let frozen = [0.9, 0.9];
     let baseline = fig3_static_baseline(
-        &cfg, total_s, surge_start, surge_end, surge_c, &frozen, 4242,
+        &cfg,
+        total_s,
+        surge_start,
+        surge_end,
+        surge_c,
+        &frozen,
+        4242,
     )
     .expect("baseline failed");
     let base_mean = |lo: f64, hi: f64| {

@@ -56,7 +56,5 @@ fn main() {
         .iter()
         .map(|p| (p.response.mean - setpoint).abs())
         .fold(0.0_f64, f64::max);
-    println!(
-        "set point {setpoint:.0} ms; worst mean deviation across levels: {worst:.1} ms"
-    );
+    println!("set point {setpoint:.0} ms; worst mean deviation across levels: {worst:.1} ms");
 }

@@ -60,5 +60,8 @@ fn main() {
         .iter()
         .map(|p| ((p.response.mean - p.x) / p.x).abs())
         .fold(0.0_f64, f64::max);
-    println!("worst relative tracking error across set points: {:.1} %", worst * 100.0);
+    println!(
+        "worst relative tracking error across set points: {:.1} %",
+        worst * 100.0
+    );
 }

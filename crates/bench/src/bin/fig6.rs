@@ -58,7 +58,14 @@ fn main() {
     rule(104);
     println!(
         "{:>8} {:>14} {:>14} {:>10} {:>12} {:>12} {:>12} {:>10}",
-        "#VMs", "IPAC (Wh/VM)", "pMap (Wh/VM)", "saving", "IPAC migr", "IPAC srv", "pMap srv", "IPAC SLA"
+        "#VMs",
+        "IPAC (Wh/VM)",
+        "pMap (Wh/VM)",
+        "saving",
+        "IPAC migr",
+        "IPAC srv",
+        "pMap srv",
+        "IPAC SLA"
     );
     rule(104);
     let mut savings = Vec::new();

@@ -1,0 +1,244 @@
+//! Std-only micro-benchmark harness.
+//!
+//! Replaces the Criterion dependency for the five bench binaries under
+//! `benches/` (all declared with `harness = false`). Each sample times a
+//! calibrated batch of iterations with [`std::time::Instant`]; the harness
+//! reports min / median / mean / max per-iteration nanoseconds and writes a
+//! machine-readable `results/BENCH_<name>.json` alongside the table.
+//!
+//! Tunables (environment):
+//! * `VDC_BENCH_SAMPLES` — timed samples per benchmark (default 15);
+//! * `VDC_BENCH_WARMUP_MS` — warmup budget per benchmark (default 200 ms);
+//! * `VDC_BENCH_OUT_DIR` — output directory (default `results`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use vdc_dcsim::json::{array, JsonObject};
+
+/// Result of one benchmark: per-iteration nanoseconds across samples.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark group (e.g. `lu_solve`).
+    pub group: String,
+    /// Case id within the group (e.g. a problem size).
+    pub id: String,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Per-iteration nanoseconds, one entry per sample, sorted.
+    pub sample_ns: Vec<f64>,
+}
+
+impl BenchRecord {
+    /// Fastest sample.
+    pub fn min_ns(&self) -> f64 {
+        self.sample_ns[0]
+    }
+
+    /// Median sample — the headline number (robust to scheduler noise).
+    pub fn median_ns(&self) -> f64 {
+        let n = self.sample_ns.len();
+        if n % 2 == 1 {
+            self.sample_ns[n / 2]
+        } else {
+            0.5 * (self.sample_ns[n / 2 - 1] + self.sample_ns[n / 2])
+        }
+    }
+
+    /// Mean over samples.
+    pub fn mean_ns(&self) -> f64 {
+        self.sample_ns.iter().sum::<f64>() / self.sample_ns.len() as f64
+    }
+
+    /// Slowest sample.
+    pub fn max_ns(&self) -> f64 {
+        self.sample_ns[self.sample_ns.len() - 1]
+    }
+
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("group", &self.group)
+            .str("id", &self.id)
+            .int("iters_per_sample", self.iters_per_sample as i64)
+            .num("min_ns", self.min_ns())
+            .num("median_ns", self.median_ns())
+            .num("mean_ns", self.mean_ns())
+            .num("max_ns", self.max_ns())
+            .nums("sample_ns", &self.sample_ns)
+            .build()
+    }
+}
+
+/// Collects benchmark results for one bench binary.
+#[derive(Debug)]
+pub struct BenchHarness {
+    name: String,
+    samples: u32,
+    warmup: Duration,
+    out_dir: String,
+    records: Vec<BenchRecord>,
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl BenchHarness {
+    /// Create a harness named after the bench binary, reading tunables
+    /// from the environment.
+    pub fn from_env(name: &str) -> BenchHarness {
+        BenchHarness {
+            name: name.to_string(),
+            samples: env_u64("VDC_BENCH_SAMPLES", 15).max(3) as u32,
+            warmup: Duration::from_millis(env_u64("VDC_BENCH_WARMUP_MS", 200)),
+            out_dir: std::env::var("VDC_BENCH_OUT_DIR").unwrap_or_else(|_| "results".to_string()),
+            records: Vec::new(),
+        }
+    }
+
+    /// Time `f`, printing a row and recording the result.
+    ///
+    /// The return value of `f` is passed through [`black_box`] so the
+    /// optimizer cannot delete the measured work.
+    pub fn bench<T>(&mut self, group: &str, id: &str, mut f: impl FnMut() -> T) {
+        // Warmup doubles the batch size until the warmup budget is spent;
+        // this also calibrates iterations so one sample costs ~1/4 of the
+        // warmup budget (>= 1 iteration for slow closures).
+        let mut iters: u64 = 1;
+        let warmup_start = Instant::now();
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let measured = t.elapsed() / iters as u32;
+            if warmup_start.elapsed() >= self.warmup {
+                break measured;
+            }
+            iters = iters.saturating_mul(2).min(1 << 24);
+        };
+        let sample_budget = self.warmup / 4;
+        let iters_per_sample = if per_iter.is_zero() {
+            iters
+        } else {
+            (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+        };
+
+        let mut sample_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters_per_sample {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters_per_sample as f64
+            })
+            .collect();
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        let rec = BenchRecord {
+            group: group.to_string(),
+            id: id.to_string(),
+            iters_per_sample,
+            sample_ns,
+        };
+        println!(
+            "{:<24} {:<12} median {:>12}  (min {}, mean {}, max {}, {} iters x {} samples)",
+            rec.group,
+            rec.id,
+            fmt_ns(rec.median_ns()),
+            fmt_ns(rec.min_ns()),
+            fmt_ns(rec.mean_ns()),
+            fmt_ns(rec.max_ns()),
+            rec.iters_per_sample,
+            rec.sample_ns.len(),
+        );
+        self.records.push(rec);
+    }
+
+    /// Write `results/BENCH_<name>.json` and print the summary footer.
+    pub fn finish(self) {
+        let rendered: Vec<String> = self.records.iter().map(BenchRecord::to_json).collect();
+        let doc = JsonObject::new()
+            .str("bench", &self.name)
+            .int("samples", self.samples as i64)
+            .raw("results", &array(&rendered))
+            .build();
+        let path = format!("{}/BENCH_{}.json", self.out_dir, self.name);
+        match std::fs::create_dir_all(&self.out_dir)
+            .and_then(|()| std::fs::write(&path, doc + "\n"))
+        {
+            Ok(()) => println!("{} benchmarks -> {path}", self.records.len()),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_are_order_independent() {
+        let rec = BenchRecord {
+            group: "g".into(),
+            id: "1".into(),
+            iters_per_sample: 10,
+            sample_ns: vec![1.0, 2.0, 3.0, 10.0],
+        };
+        assert_eq!(rec.min_ns(), 1.0);
+        assert_eq!(rec.max_ns(), 10.0);
+        assert_eq!(rec.median_ns(), 2.5);
+        assert_eq!(rec.mean_ns(), 4.0);
+    }
+
+    #[test]
+    fn record_json_is_flat_and_complete() {
+        let rec = BenchRecord {
+            group: "lu".into(),
+            id: "8".into(),
+            iters_per_sample: 100,
+            sample_ns: vec![5.0, 6.0, 7.0],
+        };
+        let j = rec.to_json();
+        for key in ["group", "id", "iters_per_sample", "median_ns", "sample_ns"] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn harness_measures_and_writes_json() {
+        let dir = std::env::temp_dir().join("vdc-bench-harness-test");
+        std::env::set_var("VDC_BENCH_OUT_DIR", &dir);
+        std::env::set_var("VDC_BENCH_SAMPLES", "3");
+        std::env::set_var("VDC_BENCH_WARMUP_MS", "1");
+        let mut h = BenchHarness::from_env("selftest");
+        let mut acc = 0u64;
+        h.bench("noop", "sum", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(h.records.len(), 1);
+        assert!(h.records[0].min_ns() >= 0.0);
+        h.finish();
+        let path = dir.join("BENCH_selftest.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\":\"selftest\""));
+        std::env::remove_var("VDC_BENCH_OUT_DIR");
+        std::env::remove_var("VDC_BENCH_SAMPLES");
+        std::env::remove_var("VDC_BENCH_WARMUP_MS");
+    }
+}

@@ -2,9 +2,11 @@
 //!
 //! Each `fig*` binary (see `src/bin/`) reproduces one figure of the paper's
 //! evaluation section and prints the corresponding rows/series; this crate
-//! holds the formatting and argument plumbing they share. The Criterion
-//! benches under `benches/` measure the algorithmic costs (MPC solve time,
-//! Minimum Slack vs FFD, PAC/IPAC/pMapper scaling).
+//! holds the formatting and argument plumbing they share. The benches under
+//! `benches/` measure the algorithmic costs (MPC solve time, Minimum Slack
+//! vs FFD, PAC/IPAC/pMapper scaling) with the std-only [`harness`].
+
+pub mod harness;
 
 /// Print a horizontal rule sized to a table width.
 pub fn rule(width: usize) {

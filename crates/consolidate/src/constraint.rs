@@ -152,10 +152,7 @@ mod tests {
         // Administrator rule: at most 2 candidate VMs per placement.
         let c = FnConstraint(|_: &PackServer, cands: &[PackItem]| cands.len() <= 2);
         assert!(c.admits(&server(), &[item(0.1, 0.1), item(0.1, 0.1)]));
-        assert!(!c.admits(
-            &server(),
-            &[item(0.1, 0.1), item(0.1, 0.1), item(0.1, 0.1)]
-        ));
+        assert!(!c.admits(&server(), &[item(0.1, 0.1), item(0.1, 0.1), item(0.1, 0.1)]));
     }
 
     #[test]

@@ -79,11 +79,7 @@ pub fn ipac_plan(
                 .resident
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    a.cpu_ghz
-                        .partial_cmp(&b.cpu_ghz)
-                        .expect("finite demands")
-                })
+                .min_by(|(_, a), (_, b)| a.cpu_ghz.partial_cmp(&b.cpu_ghz).expect("finite demands"))
                 .expect("non-empty resident list");
             migration_list.push(s.resident.swap_remove(idx));
         }
@@ -323,7 +319,7 @@ mod tests {
     fn drains_least_efficient_server() {
         // Efficient big server has room for the small server's VMs.
         let servers = vec![
-            server(0, 12.0, 320.0, &[(1, 4.0)]),  // eff 0.0375
+            server(0, 12.0, 320.0, &[(1, 4.0)]),          // eff 0.0375
             server(1, 3.0, 150.0, &[(2, 1.0), (3, 1.0)]), // eff 0.02
         ];
         let plan = ipac_plan(
@@ -384,7 +380,10 @@ mod tests {
 
     #[test]
     fn new_items_are_placed() {
-        let servers = vec![server(0, 12.0, 320.0, &[(1, 2.0)]), server(1, 4.0, 180.0, &[])];
+        let servers = vec![
+            server(0, 12.0, 320.0, &[(1, 2.0)]),
+            server(1, 4.0, 180.0, &[]),
+        ];
         let new = vec![PackItem::new(VmId(10), 3.0, 512.0)];
         let plan = ipac_plan(
             &servers,

@@ -98,9 +98,7 @@ impl SearchState<'_> {
             return;
         }
         // Bound: even taking every remaining item cannot beat the best.
-        if pos < self.suffix_cpu.len()
-            && chosen_cpu + self.suffix_cpu[pos] <= self.best_cpu
-        {
+        if pos < self.suffix_cpu.len() && chosen_cpu + self.suffix_cpu[pos] <= self.best_cpu {
             return;
         }
         for i in pos..self.sorted.len() {
@@ -122,9 +120,7 @@ impl SearchState<'_> {
                     self.epsilon += self.cfg.epsilon_step_ghz;
                 }
             }
-            let admitted = self
-                .constraint
-                .admits(self.server, &self.stack);
+            let admitted = self.constraint.admits(self.server, &self.stack);
             if admitted {
                 self.dfs(i + 1);
             }
@@ -364,9 +360,9 @@ mod tests {
         let q = items(&[1.0, 1.0, 1.0, 1.0]);
         let c = AndConstraint::new(vec![
             Box::new(CpuConstraint::default()),
-            Box::new(FnConstraint(
-                |s: &PackServer, cand: &[PackItem]| s.resident.len() + cand.len() <= 2,
-            )),
+            Box::new(FnConstraint(|s: &PackServer, cand: &[PackItem]| {
+                s.resident.len() + cand.len() <= 2
+            })),
         ]);
         let r = minimum_slack(&s, &q, &c, &MinSlackConfig::default());
         assert_eq!(r.chosen.len(), 2);
@@ -375,7 +371,10 @@ mod tests {
     #[test]
     fn zero_cpu_items_admitted() {
         let s = server(4.0, 8192.0);
-        let q = vec![PackItem::new(VmId(0), 0.0, 10.0), PackItem::new(VmId(1), 4.0, 10.0)];
+        let q = vec![
+            PackItem::new(VmId(0), 0.0, 10.0),
+            PackItem::new(VmId(1), 4.0, 10.0),
+        ];
         let c = CpuConstraint::default();
         let r = minimum_slack(&s, &q, &c, &MinSlackConfig::default());
         // The 4.0 item gives slack 0 and triggers early exit; the zero-CPU

@@ -32,9 +32,7 @@ pub struct ConsolidationPlan {
 impl ConsolidationPlan {
     /// Whether the plan does anything at all.
     pub fn is_empty(&self) -> bool {
-        self.moves.is_empty()
-            && self.servers_to_sleep.is_empty()
-            && self.servers_to_wake.is_empty()
+        self.moves.is_empty() && self.servers_to_sleep.is_empty() && self.servers_to_wake.is_empty()
     }
 
     /// Total memory to be copied by the planned migrations (MiB) — the

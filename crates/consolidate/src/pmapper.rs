@@ -205,10 +205,10 @@ mod tests {
         ];
         let plan = pmapper_plan(&servers, &[], &CpuConstraint::default());
         assert!(plan.n_migrations() >= 2);
-        assert!(plan
-            .moves
-            .iter()
-            .all(|m| m.to == 0, ), "all moves should target the efficient server: {plan:?}");
+        assert!(
+            plan.moves.iter().all(|m| m.to == 0,),
+            "all moves should target the efficient server: {plan:?}"
+        );
         assert_eq!(plan.servers_to_sleep, vec![1]);
     }
 
@@ -225,7 +225,10 @@ mod tests {
 
     #[test]
     fn new_items_placed_via_target() {
-        let servers = vec![server(0, 12.0, 320.0, &[(1, 2.0)]), server(1, 4.0, 180.0, &[])];
+        let servers = vec![
+            server(0, 12.0, 320.0, &[(1, 2.0)]),
+            server(1, 4.0, 180.0, &[]),
+        ];
         let new = vec![PackItem::new(VmId(10), 3.0, 256.0)];
         let plan = pmapper_plan(&servers, &new, &CpuConstraint::default());
         let mv = plan.moves.iter().find(|m| m.vm == VmId(10)).unwrap();

@@ -200,7 +200,11 @@ mod tests {
             server(0, 4.0, &[(1, 2.0)], true),
             server(1, 4.0, &[(2, 3.0)], true),
         ];
-        let out = relieve_overloads(&servers, &CpuConstraint::default(), &ReliefConfig::default());
+        let out = relieve_overloads(
+            &servers,
+            &CpuConstraint::default(),
+            &ReliefConfig::default(),
+        );
         assert!(out.plan.is_empty());
         assert_eq!(out.unresolved, 0);
     }
@@ -212,7 +216,11 @@ mod tests {
             server(0, 4.0, &[(1, 4.0), (2, 1.0)], true),
             server(1, 4.0, &[], true),
         ];
-        let out = relieve_overloads(&servers, &CpuConstraint::default(), &ReliefConfig::default());
+        let out = relieve_overloads(
+            &servers,
+            &CpuConstraint::default(),
+            &ReliefConfig::default(),
+        );
         assert_eq!(out.plan.moves.len(), 1);
         assert_eq!(out.plan.moves[0].vm, VmId(2));
         assert_eq!(out.plan.moves[0].to, 1);
@@ -227,7 +235,11 @@ mod tests {
             server(0, 3.9, &[(1, 0.5), (2, 2.0), (3, 2.0)], true),
             server(1, 8.0, &[], true),
         ];
-        let out = relieve_overloads(&servers, &CpuConstraint::default(), &ReliefConfig::default());
+        let out = relieve_overloads(
+            &servers,
+            &CpuConstraint::default(),
+            &ReliefConfig::default(),
+        );
         assert_eq!(out.plan.moves.len(), 1);
         assert!(out.plan.moves[0].cpu_ghz == 2.0, "{:?}", out.plan.moves);
     }
@@ -239,7 +251,11 @@ mod tests {
             server(1, 2.0, &[(3, 1.8)], true), // active but too full
             server(2, 4.0, &[], false),        // sleeping
         ];
-        let out = relieve_overloads(&servers, &CpuConstraint::default(), &ReliefConfig::default());
+        let out = relieve_overloads(
+            &servers,
+            &CpuConstraint::default(),
+            &ReliefConfig::default(),
+        );
         assert_eq!(out.plan.moves.len(), 1);
         assert_eq!(out.plan.moves[0].to, 2);
         assert_eq!(out.plan.servers_to_wake, vec![2]);
@@ -253,7 +269,11 @@ mod tests {
             server(1, 4.0, &[(3, 0.5)], true), // active with room
             server(2, 12.0, &[], false),       // sleeping with more room
         ];
-        let out = relieve_overloads(&servers, &CpuConstraint::default(), &ReliefConfig::default());
+        let out = relieve_overloads(
+            &servers,
+            &CpuConstraint::default(),
+            &ReliefConfig::default(),
+        );
         assert_eq!(out.plan.moves[0].to, 1, "active server must win");
         assert!(out.plan.servers_to_wake.is_empty());
     }
@@ -264,7 +284,11 @@ mod tests {
             server(0, 2.0, &[(1, 3.0)], true), // one huge VM, can't fit anywhere
             server(1, 2.0, &[(2, 1.9)], true),
         ];
-        let out = relieve_overloads(&servers, &CpuConstraint::default(), &ReliefConfig::default());
+        let out = relieve_overloads(
+            &servers,
+            &CpuConstraint::default(),
+            &ReliefConfig::default(),
+        );
         assert!(out.plan.moves.is_empty());
         assert_eq!(out.unresolved, 1);
     }
@@ -294,7 +318,11 @@ mod tests {
             server(0, 2.0, &[(1, 1.5), (2, 1.5), (3, 1.5), (4, 1.5)], true),
             server(1, 12.0, &[], true),
         ];
-        let out = relieve_overloads(&servers, &CpuConstraint::default(), &ReliefConfig::default());
+        let out = relieve_overloads(
+            &servers,
+            &CpuConstraint::default(),
+            &ReliefConfig::default(),
+        );
         assert!(out.plan.moves.len() >= 3, "{:?}", out.plan.moves.len());
         assert_eq!(out.unresolved, 0);
     }
@@ -313,6 +341,9 @@ mod tests {
             ..Default::default()
         };
         let out = relieve_overloads(&servers, &CpuConstraint::default(), &cfg);
-        assert_eq!(out.plan.moves[0].to, 2, "must skip the headroom-less server");
+        assert_eq!(
+            out.plan.moves[0].to, 2,
+            "must skip the headroom-less server"
+        );
     }
 }

@@ -2,7 +2,8 @@
 //! must be *feasible* (no CPU/memory violation on any server) and
 //! *conservative* (no VM lost or duplicated) for arbitrary inputs.
 
-use proptest::prelude::*;
+use std::collections::BTreeMap;
+use vdc_check::{check, from_fn, prop_assert, prop_assert_eq, prop_assume, Gen, TestRng};
 use vdc_consolidate::constraint::{AndConstraint, Constraint};
 use vdc_consolidate::ffd::first_fit_decreasing;
 use vdc_consolidate::ipac::{ipac_plan, IpacConfig};
@@ -12,40 +13,46 @@ use vdc_consolidate::pac::pac_pack;
 use vdc_consolidate::plan::ConsolidationPlan;
 use vdc_consolidate::pmapper::pmapper_plan;
 use vdc_consolidate::policy::AlwaysAllow;
-use std::collections::BTreeMap;
 use vdc_dcsim::VmId;
 
-/// Strategy: a fleet of 2–8 servers with assorted capacities.
-fn servers_strategy() -> impl Strategy<Value = Vec<PackServer>> {
-    proptest::collection::vec(
-        (2.0f64..12.0, 2048.0f64..16384.0, 100.0f64..400.0),
-        2..8,
-    )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (cpu, mem, watts))| PackServer {
+const CASES: u32 = 64;
+
+/// A fleet of 2–8 servers with assorted capacities.
+fn gen_servers(rng: &mut TestRng) -> Vec<PackServer> {
+    let n = rng.usize_in(2, 8);
+    (0..n)
+        .map(|i| {
+            let watts = rng.f64_in(100.0, 400.0);
+            PackServer {
                 index: i,
-                cpu_capacity_ghz: cpu,
-                mem_capacity_mib: mem,
+                cpu_capacity_ghz: rng.f64_in(2.0, 12.0),
+                mem_capacity_mib: rng.f64_in(2048.0, 16384.0),
                 max_watts: watts,
                 idle_watts: watts * 0.6,
                 active: false,
                 resident: Vec::new(),
-            })
-            .collect()
-    })
+            }
+        })
+        .collect()
 }
 
-/// Strategy: 1–25 VMs with assorted demands.
-fn items_strategy() -> impl Strategy<Value = Vec<PackItem>> {
-    proptest::collection::vec((0.1f64..3.0, 64.0f64..2048.0), 1..25).prop_map(|vms| {
-        vms.into_iter()
-            .enumerate()
-            .map(|(i, (cpu, mem))| PackItem::new(VmId(i as u64), cpu, mem))
-            .collect()
-    })
+/// 1–25 VMs with assorted demands.
+fn gen_items(rng: &mut TestRng) -> Vec<PackItem> {
+    let n = rng.usize_in(1, 25);
+    (0..n)
+        .map(|i| {
+            PackItem::new(
+                VmId(i as u64),
+                rng.f64_in(0.1, 3.0),
+                rng.f64_in(64.0, 2048.0),
+            )
+        })
+        .collect()
+}
+
+/// `(servers, items)` — the instance every packing property consumes.
+fn instance() -> impl Gen<Value = (Vec<PackServer>, Vec<PackItem>)> {
+    from_fn(|rng: &mut TestRng| (gen_servers(rng), gen_items(rng)))
 }
 
 /// A populated snapshot: items distributed round-robin, skipping servers
@@ -101,16 +108,12 @@ fn vm_multiset(servers: &[PackServer]) -> BTreeMap<u64, usize> {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn minslack_selection_is_feasible(
-        (servers, items) in (servers_strategy(), items_strategy())
-    ) {
+#[test]
+fn minslack_selection_is_feasible() {
+    check(CASES, &instance(), |(servers, items)| {
         let constraint = AndConstraint::cpu_and_memory();
         let server = &servers[0];
-        let res = minimum_slack(server, &items, &constraint, &MinSlackConfig::default());
+        let res = minimum_slack(server, items, &constraint, &MinSlackConfig::default());
         // Chosen indices are unique and in range.
         let mut seen = std::collections::BTreeSet::new();
         for &i in &res.chosen {
@@ -124,15 +127,16 @@ proptest! {
         let used: f64 = chosen.iter().map(|i| i.cpu_ghz).sum();
         let slack = server.cpu_capacity_ghz - server.resident_cpu() - used;
         prop_assert!((slack - res.slack_ghz).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pac_assignments_feasible_and_conservative(
-        (servers, items) in (servers_strategy(), items_strategy())
-    ) {
+#[test]
+fn pac_assignments_feasible_and_conservative() {
+    check(CASES, &instance(), |(servers, items)| {
         let constraint = AndConstraint::cpu_and_memory();
         let mut state = servers.clone();
-        let res = pac_pack(&mut state, &items, &constraint, &MinSlackConfig::default());
+        let res = pac_pack(&mut state, items, &constraint, &MinSlackConfig::default());
         prop_assert!(state_feasible(&state), "PAC produced an infeasible state");
         // Every input VM is either assigned exactly once or unplaced.
         let assigned: std::collections::BTreeSet<u64> =
@@ -142,26 +146,34 @@ proptest! {
         prop_assert_eq!(assigned.len(), res.assignments.len(), "double assignment");
         prop_assert!(assigned.is_disjoint(&unplaced));
         prop_assert_eq!(assigned.len() + unplaced.len(), items.len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ffd_respects_constraints(
-        (servers, items) in (servers_strategy(), items_strategy())
-    ) {
+#[test]
+fn ffd_respects_constraints() {
+    check(CASES, &instance(), |(servers, items)| {
         let constraint = AndConstraint::cpu_and_memory();
         let mut state = servers.clone();
-        let _ = first_fit_decreasing(&mut state, &items, &constraint);
+        let _ = first_fit_decreasing(&mut state, items, &constraint);
         prop_assert!(state_feasible(&state));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ipac_plan_preserves_vms_and_feasibility(
-        (servers, items) in (servers_strategy(), items_strategy())
-    ) {
+#[test]
+fn ipac_plan_preserves_vms_and_feasibility() {
+    check(CASES, &instance(), |(servers, items)| {
         let constraint = AndConstraint::cpu_and_memory();
-        let start = populate(servers, &items);
+        let start = populate(servers.clone(), items);
         let before = vm_multiset(&start);
-        let plan = ipac_plan(&start, &[], &constraint, &AlwaysAllow, &IpacConfig::default());
+        let plan = ipac_plan(
+            &start,
+            &[],
+            &constraint,
+            &AlwaysAllow,
+            &IpacConfig::default(),
+        );
         let after_state = apply(&start, &plan);
         let after = vm_multiset(&after_state);
         prop_assert_eq!(&before, &after, "IPAC lost or duplicated VMs");
@@ -170,33 +182,47 @@ proptest! {
         // wakes happen only to resolve overload, and `populate` starts
         // feasible).
         let occ_before = start.iter().filter(|s| !s.resident.is_empty()).count();
-        let occ_after = after_state.iter().filter(|s| !s.resident.is_empty()).count();
+        let occ_after = after_state
+            .iter()
+            .filter(|s| !s.resident.is_empty())
+            .count();
         prop_assert!(occ_after <= occ_before);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pmapper_plan_preserves_vms_and_feasibility(
-        (servers, items) in (servers_strategy(), items_strategy())
-    ) {
+#[test]
+fn pmapper_plan_preserves_vms_and_feasibility() {
+    check(CASES, &instance(), |(servers, items)| {
         let constraint = AndConstraint::cpu_and_memory();
-        let start = populate(servers, &items);
+        let start = populate(servers.clone(), items);
         let before = vm_multiset(&start);
         let plan = pmapper_plan(&start, &[], &constraint);
         let after_state = apply(&start, &plan);
         let after = vm_multiset(&after_state);
         prop_assert_eq!(&before, &after, "pMapper lost or duplicated VMs");
-        prop_assert!(state_feasible(&after_state), "pMapper plan violates capacity");
-    }
+        prop_assert!(
+            state_feasible(&after_state),
+            "pMapper plan violates capacity"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ipac_never_does_worse_than_start_power_proxy(
-        (servers, items) in (servers_strategy(), items_strategy())
-    ) {
+#[test]
+fn ipac_never_does_worse_than_start_power_proxy() {
+    check(CASES, &instance(), |(servers, items)| {
         // Idle-power proxy: sum of idle watts of occupied servers must not
         // increase after an IPAC plan (it can only empty servers).
         let constraint = AndConstraint::cpu_and_memory();
-        let start = populate(servers, &items);
-        let plan = ipac_plan(&start, &[], &constraint, &AlwaysAllow, &IpacConfig::default());
+        let start = populate(servers.clone(), items);
+        let plan = ipac_plan(
+            &start,
+            &[],
+            &constraint,
+            &AlwaysAllow,
+            &IpacConfig::default(),
+        );
         let after_state = apply(&start, &plan);
         let idle = |state: &[PackServer]| -> f64 {
             state
@@ -206,7 +232,8 @@ proptest! {
                 .sum()
         };
         prop_assert!(idle(&after_state) <= idle(&start) + 1e-9);
-    }
+        Ok(())
+    });
 }
 
 /// Regression (found by the large-scale simulation): when a tight fleet
@@ -215,6 +242,7 @@ proptest! {
 /// packed newcomers onto the origin server.
 mod overloaded_starts {
     use super::*;
+    use vdc_check::f64_range;
 
     fn mem_feasible(servers: &[PackServer]) -> bool {
         servers
@@ -222,17 +250,14 @@ mod overloaded_starts {
             .all(|s| s.resident_mem() <= s.mem_capacity_mib + 1e-6)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn ipac_on_overloaded_tight_fleet_keeps_memory_feasible(
-            (servers, items, inflate) in (servers_strategy(), items_strategy(), 1.0f64..6.0)
-        ) {
+    #[test]
+    fn ipac_on_overloaded_tight_fleet_keeps_memory_feasible() {
+        let gen = (instance(), f64_range(1.0, 6.0));
+        check(CASES, &gen, |((servers, items), inflate)| {
             let constraint = AndConstraint::cpu_and_memory();
             // Start from a feasible packing, then inflate CPU demands so
             // several servers are overloaded (memory stays as placed).
-            let mut start = populate(servers, &items);
+            let mut start = populate(servers.clone(), items);
             for s in start.iter_mut() {
                 for it in s.resident.iter_mut() {
                     it.cpu_ghz *= inflate;
@@ -240,22 +265,30 @@ mod overloaded_starts {
             }
             prop_assume!(mem_feasible(&start));
             let before = vm_multiset(&start);
-            let plan = ipac_plan(&start, &[], &constraint, &AlwaysAllow, &IpacConfig::default());
+            let plan = ipac_plan(
+                &start,
+                &[],
+                &constraint,
+                &AlwaysAllow,
+                &IpacConfig::default(),
+            );
             let after = apply(&start, &plan);
             prop_assert_eq!(before, vm_multiset(&after), "VMs lost or duplicated");
             prop_assert!(
                 mem_feasible(&after),
                 "hard memory constraint violated under overload pressure"
             );
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn relief_then_ipac_composition_is_consistent(
-            (servers, items, inflate) in (servers_strategy(), items_strategy(), 1.0f64..4.0)
-        ) {
+    #[test]
+    fn relief_then_ipac_composition_is_consistent() {
+        let gen = (instance(), f64_range(1.0, 4.0));
+        check(CASES, &gen, |((servers, items), inflate)| {
             use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
             let constraint = AndConstraint::cpu_and_memory();
-            let mut start = populate(servers, &items);
+            let mut start = populate(servers.clone(), items);
             for s in start.iter_mut() {
                 for it in s.resident.iter_mut() {
                     it.cpu_ghz *= inflate;
@@ -272,7 +305,8 @@ mod overloaded_starts {
             let after = apply(&mid, &plan);
             prop_assert_eq!(before, vm_multiset(&after));
             prop_assert!(mem_feasible(&after));
-        }
+            Ok(())
+        });
     }
 }
 
@@ -282,27 +316,33 @@ mod overloaded_starts {
 mod convergence {
     use super::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        #[test]
-        fn ipac_reaches_a_fixed_point(
-            (servers, items) in (servers_strategy(), items_strategy())
-        ) {
+    #[test]
+    fn ipac_reaches_a_fixed_point() {
+        check(32, &instance(), |(servers, items)| {
             let constraint = AndConstraint::cpu_and_memory();
-            let mut state = populate(servers, &items);
+            let mut state = populate(servers.clone(), items);
             let mut rounds = 0;
             loop {
-                let plan = ipac_plan(&state, &[], &constraint, &AlwaysAllow, &IpacConfig::default());
+                let plan = ipac_plan(
+                    &state,
+                    &[],
+                    &constraint,
+                    &AlwaysAllow,
+                    &IpacConfig::default(),
+                );
                 if plan.moves.is_empty() {
                     break;
                 }
                 state = apply(&state, &plan);
                 rounds += 1;
-                prop_assert!(rounds <= 8, "IPAC keeps planning moves after {rounds} rounds");
+                prop_assert!(
+                    rounds <= 8,
+                    "IPAC keeps planning moves after {rounds} rounds"
+                );
             }
             // The fixed point is feasible.
             prop_assert!(state_feasible(&state));
-        }
+            Ok(())
+        });
     }
 }

@@ -129,13 +129,8 @@ fn closed_loop_step(model: &ArxModel, cfg: &MpcConfig, z: &[f64]) -> Result<Vec<
     let c_hist: Vec<Vec<f64>> = c_lags.iter().skip(1).cloned().collect();
 
     // Controller sees history *before* the new measurement.
-    let mut ctrl = MpcController::with_state(
-        model.clone(),
-        cfg.clone(),
-        &t_prev,
-        &c_hist,
-        &c_current,
-    )?;
+    let mut ctrl =
+        MpcController::with_state(model.clone(), cfg.clone(), &t_prev, &c_hist, &c_current)?;
     let step = ctrl.step(t_now)?;
     let c_next = step.allocation;
 
@@ -174,7 +169,6 @@ fn closed_loop_step(model: &ArxModel, cfg: &MpcConfig, z: &[f64]) -> Result<Vec<
 /// disables the rate limit (the analysis targets the *unconstrained* law —
 /// saturated behaviour is inherently nonlinear).
 pub fn analyze_closed_loop(model: &ArxModel, cfg: &MpcConfig) -> Result<ClosedLoopAnalysis> {
-
     let denom = 1.0 - model.a().iter().sum::<f64>();
     if denom.abs() < 1e-9 {
         return Err(ControlError::BadConfig(
@@ -223,7 +217,11 @@ pub fn analyze_closed_loop(model: &ArxModel, cfg: &MpcConfig) -> Result<ClosedLo
     // Finite-difference Jacobian, central differences.
     let mut jac = Matrix::zeros(n, n);
     for col in 0..n {
-        let scale = if col < na { (1.0 + t_star.abs()) * 1e-6 } else { 1e-6 };
+        let scale = if col < na {
+            (1.0 + t_star.abs()) * 1e-6
+        } else {
+            1e-6
+        };
         let mut zp = z_star.clone();
         zp[col] += scale;
         let fp = closed_loop_step(model, &a_cfg, &zp)?;
@@ -311,7 +309,11 @@ mod tests {
         c.c_max = vec![3.0];
         let analysis = analyze_closed_loop(&model, &c).unwrap();
         assert_eq!(analysis.marginal_modes(), 0, "{:?}", analysis.eigenvalues);
-        assert!(analysis.is_stable(0.0), "radius {}", analysis.spectral_radius);
+        assert!(
+            analysis.is_stable(0.0),
+            "radius {}",
+            analysis.spectral_radius
+        );
     }
 
     #[test]
@@ -513,11 +515,7 @@ mod tuner_tests {
 /// The steady state is linear in the allocation, so the extremes sit at
 /// box corners selected by each channel's gain sign. Returns `None` for
 /// integrating models (no steady state).
-pub fn achievable_range(
-    model: &ArxModel,
-    c_min: &[f64],
-    c_max: &[f64],
-) -> Option<(f64, f64)> {
+pub fn achievable_range(model: &ArxModel, c_min: &[f64], c_max: &[f64]) -> Option<(f64, f64)> {
     let m = model.n_inputs();
     if c_min.len() != m || c_max.len() != m {
         return None;
@@ -609,6 +607,9 @@ mod feasibility_tests {
         assert!(achievable_range(&m, &[0.3], &[3.0, 3.0]).is_none());
         let integ = ArxModel::new(vec![1.0], vec![vec![-1.0, -1.0]], 0.0).unwrap();
         assert!(achievable_range(&integ, &[0.0, 0.0], &[1.0, 1.0]).is_none());
-        assert_eq!(setpoint_feasible(&integ, 1.0, &[0.0, 0.0], &[1.0, 1.0]), None);
+        assert_eq!(
+            setpoint_feasible(&integ, 1.0, &[0.0, 0.0], &[1.0, 1.0]),
+            None
+        );
     }
 }

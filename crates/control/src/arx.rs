@@ -71,7 +71,12 @@ impl ArxModel {
                 "ARX input-lag vectors have inconsistent lengths".into(),
             ));
         }
-        Ok(ArxModel { a, b, bias, n_inputs })
+        Ok(ArxModel {
+            a,
+            b,
+            bias,
+            n_inputs,
+        })
     }
 
     /// Number of output lags `na`.
@@ -267,9 +272,7 @@ mod tests {
         let m = paper_like_model();
         assert!(m.predict(&[], &[vec![1.0, 1.0], vec![1.0, 1.0]]).is_err());
         assert!(m.predict(&[800.0], &[vec![1.0, 1.0]]).is_err());
-        assert!(m
-            .predict(&[800.0], &[vec![1.0], vec![1.0, 1.0]])
-            .is_err());
+        assert!(m.predict(&[800.0], &[vec![1.0], vec![1.0, 1.0]]).is_err());
     }
 
     #[test]
@@ -324,9 +327,7 @@ mod tests {
     fn fir_model_simulation() {
         // t(k) = 2 c(k-1): pure gain with one delay.
         let m = ArxModel::new(vec![], vec![vec![2.0]], 0.0).unwrap();
-        let out = m
-            .simulate(&[vec![1.0], vec![3.0], vec![5.0]])
-            .unwrap();
+        let out = m.simulate(&[vec![1.0], vec![3.0], vec![5.0]]).unwrap();
         assert_eq!(out, vec![2.0, 6.0, 10.0]);
     }
 }

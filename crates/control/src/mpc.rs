@@ -108,9 +108,7 @@ impl MpcConfig {
             )));
         }
         if self.r_weight.iter().any(|&r| r <= 0.0) {
-            return Err(ControlError::BadConfig(
-                "R weights must be positive".into(),
-            ));
+            return Err(ControlError::BadConfig("R weights must be positive".into()));
         }
         if self
             .c_min
@@ -124,9 +122,7 @@ impl MpcConfig {
         }
         if let Some(d) = self.delta_max {
             if d <= 0.0 {
-                return Err(ControlError::BadConfig(
-                    "delta_max must be positive".into(),
-                ));
+                return Err(ControlError::BadConfig("delta_max must be positive".into()));
             }
         }
         Ok(())
@@ -289,8 +285,11 @@ impl MpcController {
                 "replacement model has different input count".into(),
             ));
         }
-        self.psi =
-            build_dynamic_matrix(&model, self.cfg.prediction_horizon, self.cfg.control_horizon)?;
+        self.psi = build_dynamic_matrix(
+            &model,
+            self.cfg.prediction_horizon,
+            self.cfg.control_horizon,
+        )?;
         while self.c_hist.len() < model.nb() {
             self.c_hist.push(
                 self.c_hist
@@ -352,10 +351,7 @@ impl MpcController {
         let free = self.free_response(p)?;
 
         // Reference trajectory from the current measurement.
-        let reference =
-            self.cfg
-                .reference
-                .horizon(self.cfg.setpoint, t_measured, p);
+        let reference = self.cfg.reference.horizon(self.cfg.setpoint, t_measured, p);
 
         // Stacked least-squares objective:
         //   || sqrt(Q) (Ψ ΔC − (ref − F)) ||² + || sqrt(R̄) ΔC ||²
@@ -399,7 +395,8 @@ impl MpcController {
 
         // Box check on the first move.
         let (lo, hi) = self.first_move_bounds();
-        let first_ok = (0..m).all(|ch| delta_all[ch] >= lo[ch] - 1e-12 && delta_all[ch] <= hi[ch] + 1e-12);
+        let first_ok =
+            (0..m).all(|ch| delta_all[ch] >= lo[ch] - 1e-12 && delta_all[ch] <= hi[ch] + 1e-12);
 
         let delta_all = if first_ok {
             delta_all

@@ -89,9 +89,7 @@ pub fn probe_closed_loop(
     }
 
     // Settling: last index outside the band, +1.
-    let outside = trajectory
-        .iter()
-        .rposition(|&v| (v - ts).abs() > band);
+    let outside = trajectory.iter().rposition(|&v| (v - ts).abs() > band);
     let settling_steps = match outside {
         None => Some(0),
         Some(idx) if idx + 1 < steps => Some(idx + 1),
@@ -106,8 +104,7 @@ pub fn probe_closed_loop(
         .fold(0.0_f64, f64::max);
 
     let tail = &trajectory[steps - (steps / 4).max(1)..];
-    let steady_state_error =
-        tail.iter().map(|&v| (v - ts).abs()).sum::<f64>() / tail.len() as f64;
+    let steady_state_error = tail.iter().map(|&v| (v - ts).abs()).sum::<f64>() / tail.len() as f64;
 
     Ok(ClosedLoopProbe {
         trajectory,

@@ -48,8 +48,7 @@ impl Prbs {
 
     fn step_lfsr(&mut self) -> bool {
         // Fibonacci LFSR, taps 16,15,13,4.
-        let bit = (self.state ^ (self.state >> 1) ^ (self.state >> 3) ^ (self.state >> 12))
-            & 1;
+        let bit = (self.state ^ (self.state >> 1) ^ (self.state >> 3) ^ (self.state >> 12)) & 1;
         self.state = (self.state >> 1) | (bit << 15);
         bit == 1
     }

@@ -2,23 +2,27 @@
 //! arbitrary stable models, the reference trajectory behaves like a
 //! first-order system, and the MPC never violates its constraints.
 
-use proptest::prelude::*;
+use vdc_check::{check, f64_range, from_fn, prop_assert, prop_assume, vec_of, Gen, TestRng};
 use vdc_control::arx::ArxModel;
 use vdc_control::mpc::{MpcConfig, MpcController};
 use vdc_control::reference::ReferenceTrajectory;
-use vdc_control::sysid::{fit_arx, ExperimentData, Prbs};
 use vdc_control::stability::{is_stable, model_spectral_radius};
+use vdc_control::sysid::{fit_arx, ExperimentData, Prbs};
 
-/// Strategy: a random stable ARX(1, 2) model with 2 inputs and negative
-/// gains (the physical shape of a response-time model).
-fn stable_model() -> impl Strategy<Value = ArxModel> {
-    (
-        -0.8f64..0.8,
-        proptest::collection::vec(-300.0f64..-20.0, 2),
-        proptest::collection::vec(-100.0f64..-5.0, 2),
-        500.0f64..2500.0,
-    )
-        .prop_map(|(a, b1, b2, bias)| ArxModel::new(vec![a], vec![b1, b2], bias).unwrap())
+const CASES: u32 = 32;
+
+/// A random stable ARX(1, 2) model with 2 inputs and negative gains (the
+/// physical shape of a response-time model).
+fn gen_stable_model(rng: &mut TestRng) -> ArxModel {
+    let a = rng.f64_in(-0.8, 0.8);
+    let b1 = vec![rng.f64_in(-300.0, -20.0), rng.f64_in(-300.0, -20.0)];
+    let b2 = vec![rng.f64_in(-100.0, -5.0), rng.f64_in(-100.0, -5.0)];
+    let bias = rng.f64_in(500.0, 2500.0);
+    ArxModel::new(vec![a], vec![b1, b2], bias).unwrap()
+}
+
+fn stable_model() -> impl Gen<Value = ArxModel> {
+    from_fn(gen_stable_model)
 }
 
 /// Simulate `model` under PRBS excitation into an identification data set.
@@ -39,40 +43,53 @@ fn excite(model: &ArxModel, n: usize, seed: u16) -> ExperimentData {
     data
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn identification_recovers_any_stable_model(
-        (model, seed) in (stable_model(), 1u16..5000)
-    ) {
-        let data = excite(&model, 260, seed);
+#[test]
+fn identification_recovers_any_stable_model() {
+    let gen = from_fn(|rng: &mut TestRng| (gen_stable_model(rng), rng.u64_in(1, 5000) as u16));
+    check(CASES, &gen, |(model, seed)| {
+        let data = excite(model, 260, *seed);
         let fit = fit_arx(&data, 1, 2).unwrap();
-        prop_assert!((fit.model.a()[0] - model.a()[0]).abs() < 1e-4,
-            "a: {} vs {}", fit.model.a()[0], model.a()[0]);
+        prop_assert!(
+            (fit.model.a()[0] - model.a()[0]).abs() < 1e-4,
+            "a: {} vs {}",
+            fit.model.a()[0],
+            model.a()[0]
+        );
         for lag in 0..2 {
             for ch in 0..2 {
                 prop_assert!(
                     (fit.model.b()[lag][ch] - model.b()[lag][ch]).abs() < 1e-2,
-                    "b[{lag}][{ch}]: {} vs {}", fit.model.b()[lag][ch], model.b()[lag][ch]
+                    "b[{lag}][{ch}]: {} vs {}",
+                    fit.model.b()[lag][ch],
+                    model.b()[lag][ch]
                 );
             }
         }
         prop_assert!(fit.r_squared > 0.999);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn stability_analysis_matches_ar_coefficient(a in -0.99f64..0.99) {
+#[test]
+fn stability_analysis_matches_ar_coefficient() {
+    check(CASES, &f64_range(-0.99, 0.99), |&a| {
         let m = ArxModel::new(vec![a], vec![vec![-100.0]], 1000.0).unwrap();
         let rho = model_spectral_radius(&m).unwrap();
         prop_assert!((rho - a.abs()).abs() < 1e-7);
         prop_assert!(is_stable(&m, 0.0).unwrap());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn reference_trajectory_is_exponential(
-        (period, tau, ts, t0) in (0.5f64..10.0, 1.0f64..60.0, 100.0f64..2000.0, 100.0f64..4000.0)
-    ) {
+#[test]
+fn reference_trajectory_is_exponential() {
+    let gen = (
+        f64_range(0.5, 10.0),
+        f64_range(1.0, 60.0),
+        f64_range(100.0, 2000.0),
+        f64_range(100.0, 4000.0),
+    );
+    check(CASES, &gen, |&(period, tau, ts, t0)| {
         let r = ReferenceTrajectory::new(period, tau).unwrap();
         // First-order recursion: ref(i+1) - Ts = decay * (ref(i) - Ts).
         let d = r.decay();
@@ -85,18 +102,20 @@ proptest! {
         let e0 = (r.at(ts, t0, 1) - ts).abs();
         let e5 = (r.at(ts, t0, 6) - ts).abs();
         prop_assert!(e5 <= e0 + 1e-12);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn mpc_always_respects_box_and_rate_limits(
-        (model, t_seq, c_lo, width, rate) in (
-            stable_model(),
-            proptest::collection::vec(200.0f64..3500.0, 10),
-            0.2f64..0.6,
-            0.5f64..2.5,
-            0.05f64..0.5,
-        )
-    ) {
+#[test]
+fn mpc_always_respects_box_and_rate_limits() {
+    let gen = (
+        stable_model(),
+        vec_of(f64_range(200.0, 3500.0), 10, 11),
+        f64_range(0.2, 0.6),
+        f64_range(0.5, 2.5),
+        f64_range(0.05, 0.5),
+    );
+    check(CASES, &gen, |(model, t_seq, c_lo, width, rate)| {
         let reference = ReferenceTrajectory::new(4.0, 12.0).unwrap();
         let cfg = MpcConfig {
             prediction_horizon: 8,
@@ -105,31 +124,34 @@ proptest! {
             r_weight: vec![1e3; 2],
             reference,
             setpoint: 1000.0,
-            c_min: vec![c_lo; 2],
+            c_min: vec![*c_lo; 2],
             c_max: vec![c_lo + width; 2],
-            delta_max: Some(rate),
+            delta_max: Some(*rate),
             terminal_constraint: true,
         };
-        let mut ctrl = MpcController::new(model, cfg, &[c_lo + width / 2.0; 2]).unwrap();
+        let mut ctrl = MpcController::new(model.clone(), cfg, &[c_lo + width / 2.0; 2]).unwrap();
         let mut prev = ctrl.current_allocation().to_vec();
         for t in t_seq {
-            let step = ctrl.step(t).unwrap();
+            let step = ctrl.step(*t).unwrap();
             for (a, p) in step.allocation.iter().zip(&prev) {
                 prop_assert!(*a >= c_lo - 1e-9);
                 prop_assert!(*a <= c_lo + width + 1e-9);
                 prop_assert!(
                     (a - p).abs() <= rate + 1e-9,
-                    "rate limit violated: {} -> {}", p, a
+                    "rate limit violated: {} -> {}",
+                    p,
+                    a
                 );
             }
             prev = step.allocation;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn mpc_converges_on_its_own_model(
-        model in stable_model()
-    ) {
+#[test]
+fn mpc_converges_on_its_own_model() {
+    check(CASES, &stable_model(), |model| {
         // Closed loop against the exact model from a random start: the
         // terminal-constraint MPC must settle near the set point when it is
         // reachable within the box.
@@ -171,5 +193,6 @@ proptest! {
             (t - ts).abs() < 0.05 * ts.abs() + 5.0,
             "did not converge: {t} vs {ts}"
         );
-    }
+        Ok(())
+    });
 }

@@ -128,8 +128,8 @@ impl ResponseTimeController {
             )));
         }
         let n = model.n_inputs();
-        let reference = ReferenceTrajectory::new(period_s, 3.0 * period_s)
-            .map_err(CoreError::Control)?;
+        let reference =
+            ReferenceTrajectory::new(period_s, 3.0 * period_s).map_err(CoreError::Control)?;
         let cfg = MpcConfig {
             prediction_horizon: 10,
             control_horizon: 3,
@@ -244,9 +244,7 @@ impl ResponseTimeController {
             * 1000.0;
         self.last_measurement_ms = Some(t_ms);
         let filtered = match self.filtered_ms {
-            Some(prev) => {
-                MEASUREMENT_EWMA_ALPHA * t_ms + (1.0 - MEASUREMENT_EWMA_ALPHA) * prev
-            }
+            Some(prev) => MEASUREMENT_EWMA_ALPHA * t_ms + (1.0 - MEASUREMENT_EWMA_ALPHA) * prev,
             None => t_ms,
         };
         self.filtered_ms = Some(filtered);
@@ -278,13 +276,7 @@ mod tests {
     use vdc_apptier::{AppSim, WorkloadProfile};
 
     fn plant(concurrency: usize, seed: u64) -> AppSim {
-        AppSim::new(
-            WorkloadProfile::rubbos(),
-            concurrency,
-            &[1.0, 1.0],
-            seed,
-        )
-        .unwrap()
+        AppSim::new(WorkloadProfile::rubbos(), concurrency, &[1.0, 1.0], seed).unwrap()
     }
 
     fn quick_ident_cfg() -> IdentificationConfig {
@@ -314,8 +306,7 @@ mod tests {
     fn controller_converges_to_setpoint_on_real_plant() {
         let mut ident = plant(40, 2);
         let model = identify_plant(&mut ident, &quick_ident_cfg(), 22).unwrap();
-        let mut ctrl =
-            ResponseTimeController::new(model, 1000.0, 4.0, &[1.0, 1.0]).unwrap();
+        let mut ctrl = ResponseTimeController::new(model, 1000.0, 4.0, &[1.0, 1.0]).unwrap();
         let mut run = plant(40, 3);
         let mut tail = Vec::new();
         for k in 0..120 {

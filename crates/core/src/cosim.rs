@@ -19,14 +19,13 @@
 use crate::controller::{identify_plant, IdentificationConfig, ResponseTimeController};
 use crate::optimizer::{OptimizerConfig, PowerOptimizer};
 use crate::{CoreError, Result};
+use vdc_apptier::rng::SimRng;
 use vdc_apptier::{AnalyticPlant, Plant, WorkloadProfile};
 use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::item::PackItem;
 use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
 use vdc_consolidate::view::{apply_plan, snapshot};
 use vdc_dcsim::{DataCenter, Server, ServerSpec, VmId, VmSpec};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use vdc_trace::UtilizationTrace;
 
 /// Configuration of a co-simulation run.
@@ -79,6 +78,12 @@ pub struct CosimResult {
     pub mean_active_servers: f64,
     /// Total migrations (optimizer + relief).
     pub migrations: u64,
+    /// Instantaneous active-server power at each trace sample (watts) —
+    /// the power trajectory, recorded for reproducibility audits.
+    pub power_series_w: Vec<f64>,
+    /// Mean measured SLA metric at each trace sample (ms); samples with no
+    /// completed measurements record `-1.0`.
+    pub response_series_ms: Vec<f64>,
 }
 
 /// One controlled application in the co-simulation.
@@ -111,7 +116,7 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
             "control and optimizer periods must be positive".into(),
         ));
     }
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
     let profile = WorkloadProfile::rubbos();
     let period_s = 900.0 / cfg.control_periods_per_sample as f64;
 
@@ -129,8 +134,13 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
     // search on a twin, then reused (classic peak sizing).
     let peak_clients = 80;
     let static_alloc = {
-        let mut peak_twin =
-            AnalyticPlant::new(profile.clone(), peak_clients, &[1.0, 1.0], 0.45, cfg.seed ^ 1)?;
+        let mut peak_twin = AnalyticPlant::new(
+            profile.clone(),
+            peak_clients,
+            &[1.0, 1.0],
+            0.45,
+            cfg.seed ^ 1,
+        )?;
         let mut c =
             ResponseTimeController::new(model.clone(), cfg.setpoint_ms, period_s, &[1.0, 1.0])?;
         for _ in 0..80 {
@@ -146,7 +156,7 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
     let mut dc = DataCenter::new();
     let catalog = ServerSpec::catalog();
     for _ in 0..n_servers {
-        let spec = match rng.random_range(0..100) {
+        let spec = match rng.index(100) {
             0..=14 => catalog[0].clone(),
             15..=49 => catalog[1].clone(),
             _ => catalog[2].clone(),
@@ -158,7 +168,7 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
     let mut apps = Vec::with_capacity(cfg.n_apps);
     let mut initial_items = Vec::with_capacity(2 * cfg.n_apps);
     for a in 0..cfg.n_apps {
-        let max_clients = 30 + (rng.random_range(0..50));
+        let max_clients = 30 + rng.index(50);
         let c0 = if cfg.controllers_enabled {
             vec![1.0, 1.0]
         } else {
@@ -175,7 +185,13 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
             ResponseTimeController::new(model.clone(), cfg.setpoint_ms, period_s, &c0)?;
         let ids = [VmId((2 * a) as u64), VmId((2 * a + 1) as u64)];
         for (tier, &vm) in ids.iter().enumerate() {
-            dc.add_vm(VmSpec::for_app(vm.0, a as u32, tier as u32, c0[tier], 1024.0))?;
+            dc.add_vm(VmSpec::for_app(
+                vm.0,
+                a as u32,
+                tier as u32,
+                c0[tier],
+                1024.0,
+            ))?;
             initial_items.push(PackItem::new(vm, c0[tier], 1024.0));
         }
         apps.push(App {
@@ -199,6 +215,8 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
     let mut err_count = 0usize;
     let mut violations = 0usize;
     let mut relief_migrations = 0u64;
+    let mut power_series_w = Vec::with_capacity(trace.n_samples());
+    let mut response_series_ms = Vec::with_capacity(trace.n_samples());
 
     for t in 0..trace.n_samples() {
         // 1. Workload: concurrency follows the trace's shape.
@@ -209,6 +227,8 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
         }
 
         // 2. Application-level control (or static hold).
+        let mut sample_ms_sum = 0.0;
+        let mut sample_ms_count = 0usize;
         for app in apps.iter_mut() {
             for _ in 0..cfg.control_periods_per_sample {
                 let measured = if cfg.controllers_enabled {
@@ -228,6 +248,8 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
                 if let Some(ms) = measured {
                     err_sum += (ms - cfg.setpoint_ms).abs();
                     err_count += 1;
+                    sample_ms_sum += ms;
+                    sample_ms_count += 1;
                     if ms > 1.5 * cfg.setpoint_ms {
                         violations += 1;
                     }
@@ -268,6 +290,12 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
             .map(|&s| dc.server_power_watts(s).expect("index in range"))
             .sum();
         total_energy += watts * trace.interval_s() / 3600.0;
+        power_series_w.push(watts);
+        response_series_ms.push(if sample_ms_count > 0 {
+            sample_ms_sum / sample_ms_count as f64
+        } else {
+            -1.0
+        });
     }
     total_energy += dc.wake_energy_wh();
 
@@ -287,6 +315,8 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
         },
         mean_active_servers: active_sum as f64 / trace.n_samples() as f64,
         migrations: optimizer.total_migrations() + relief_migrations,
+        power_series_w,
+        response_series_ms,
     })
 }
 

@@ -59,7 +59,11 @@ pub struct Fig2Result {
 /// Fig. 2: run the full testbed (power optimizer disabled), discard the
 /// warm-up, and report mean ± std of every application's 90-percentile
 /// response time.
-pub fn fig2(cfg: &TestbedConfig, warmup_periods: usize, measure_periods: usize) -> Result<Fig2Result> {
+pub fn fig2(
+    cfg: &TestbedConfig,
+    warmup_periods: usize,
+    measure_periods: usize,
+) -> Result<Fig2Result> {
     let mut tb = Testbed::build(cfg)?;
     tb.run(warmup_periods)?;
     let samples = tb.run(measure_periods)?;
@@ -162,8 +166,7 @@ pub fn fig3_static_baseline(
         }
         plant.run_for(period);
         time += period;
-        let stats =
-            vdc_apptier::monitor::ResponseStats::from_samples(plant.take_completed());
+        let stats = vdc_apptier::monitor::ResponseStats::from_samples(plant.take_completed());
         series.push(Fig3Point {
             time_s: time,
             response_ms: if stats.is_empty() {
@@ -207,9 +210,7 @@ fn make_plant(
     let profile = WorkloadProfile::rubbos();
     Ok(match kind {
         PlantKind::Des => Box::new(AppSim::new(profile, concurrency, c0, seed)?),
-        PlantKind::Analytic => {
-            Box::new(AnalyticPlant::new(profile, concurrency, c0, 0.45, seed)?)
-        }
+        PlantKind::Analytic => Box::new(AnalyticPlant::new(profile, concurrency, c0, 0.45, seed)?),
     })
 }
 
@@ -242,8 +243,7 @@ fn run_single_app(
     let n = model.n_inputs();
     let c0 = vec![1.0; n];
     let mut plant = make_plant(kind, concurrency, &c0, seed)?;
-    let mut ctrl =
-        ResponseTimeController::new(model.clone(), setpoint_ms, period_s, &c0)?;
+    let mut ctrl = ResponseTimeController::new(model.clone(), setpoint_ms, period_s, &c0)?;
     for _ in 0..warmup {
         ctrl.control_period(plant.as_mut())?;
     }
@@ -266,7 +266,15 @@ pub fn fig4(
     measure: usize,
     seed: u64,
 ) -> Result<Vec<SweepPoint>> {
-    fig4_with_plant(concurrencies, setpoint_ms, ident, warmup, measure, seed, PlantKind::Des)
+    fig4_with_plant(
+        concurrencies,
+        setpoint_ms,
+        ident,
+        warmup,
+        measure,
+        seed,
+        PlantKind::Des,
+    )
 }
 
 /// [`fig4`] with an explicit plant backend (`PlantKind::Analytic` runs the
@@ -312,7 +320,15 @@ pub fn fig5(
     measure: usize,
     seed: u64,
 ) -> Result<Vec<SweepPoint>> {
-    fig5_with_plant(setpoints_ms, concurrency, ident, warmup, measure, seed, PlantKind::Des)
+    fig5_with_plant(
+        setpoints_ms,
+        concurrency,
+        ident,
+        warmup,
+        measure,
+        seed,
+        PlantKind::Des,
+    )
 }
 
 /// [`fig5`] with an explicit plant backend.
@@ -340,10 +356,7 @@ pub fn fig5_with_plant(
                 seed.wrapping_add(ts as u64),
                 kind,
             )?;
-            Ok(SweepPoint {
-                x: ts,
-                response: r,
-            })
+            Ok(SweepPoint { x: ts, response: r })
         })
         .collect()
 }
@@ -399,10 +412,10 @@ pub fn fig6_with_fleet(
     let chunk_len = sizes.len().div_ceil(threads.max(1)).max(1);
     let mut work: Vec<(&mut Option<Fig6Point>, usize)> =
         out.iter_mut().zip(sizes.iter().copied()).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in work.chunks_mut(chunk_len) {
-            handles.push(scope.spawn(move |_| -> Result<()> {
+            handles.push(scope.spawn(move || -> Result<()> {
                 for (slot, n_vms) in chunk.iter_mut() {
                     let mut ipac_cfg = LargeScaleConfig::new(*n_vms, OptimizerKind::Ipac);
                     ipac_cfg.n_servers = Some(fleet);
@@ -423,8 +436,7 @@ pub fn fig6_with_fleet(
             h.join().expect("worker thread panicked")?;
         }
         Ok::<(), crate::CoreError>(())
-    })
-    .expect("thread scope panicked")?;
+    })?;
     Ok(out.into_iter().map(|p| p.expect("slot filled")).collect())
 }
 

@@ -9,8 +9,7 @@
 
 use crate::optimizer::{Algorithm, OptimizerConfig, PowerOptimizer};
 use crate::{CoreError, Result};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use vdc_apptier::rng::SimRng;
 use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::item::PackItem;
 use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
@@ -105,11 +104,11 @@ pub struct LargeScaleResult {
 /// algorithms try to use power-efficient servers first. With more VMs,
 /// more power-inefficient servers need to be used").
 fn build_fleet(n_servers: usize, seed: u64) -> DataCenter {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let catalog = ServerSpec::catalog();
     let mut dc = DataCenter::new();
     for _ in 0..n_servers {
-        let spec = match rng.random_range(0..100) {
+        let spec = match rng.index(100) {
             0..=14 => catalog[0].clone(),  // quad 3 GHz
             15..=49 => catalog[1].clone(), // dual 2 GHz
             _ => catalog[2].clone(),       // dual 1.5 GHz
@@ -263,8 +262,7 @@ fn run_large_scale_impl(
             for &srv in &active {
                 let demand = dc.server_demand_ghz(srv)?;
                 sample_demand += demand;
-                sample_unmet +=
-                    (demand - dc.server(srv)?.spec.max_capacity_ghz()).max(0.0);
+                sample_unmet += (demand - dc.server(srv)?.spec.max_capacity_ghz()).max(0.0);
             }
             sink.push(WeekSample {
                 t_s: t as f64 * trace.interval_s(),
@@ -334,9 +332,7 @@ mod tests {
     fn validates_config() {
         let t = small_trace();
         assert!(run_large_scale(&t, &LargeScaleConfig::new(0, OptimizerKind::Ipac)).is_err());
-        assert!(
-            run_large_scale(&t, &LargeScaleConfig::new(100, OptimizerKind::Ipac)).is_err()
-        );
+        assert!(run_large_scale(&t, &LargeScaleConfig::new(100, OptimizerKind::Ipac)).is_err());
         let mut cfg = LargeScaleConfig::new(10, OptimizerKind::Ipac);
         cfg.optimizer_period_samples = 0;
         assert!(run_large_scale(&t, &cfg).is_err());
@@ -361,8 +357,7 @@ mod tests {
     #[test]
     fn ipac_beats_pmapper_on_energy() {
         let t = small_trace();
-        let ipac =
-            run_large_scale(&t, &LargeScaleConfig::new(40, OptimizerKind::Ipac)).unwrap();
+        let ipac = run_large_scale(&t, &LargeScaleConfig::new(40, OptimizerKind::Ipac)).unwrap();
         let pmapper =
             run_large_scale(&t, &LargeScaleConfig::new(40, OptimizerKind::Pmapper)).unwrap();
         assert!(
@@ -376,11 +371,9 @@ mod tests {
     #[test]
     fn dvfs_contributes_savings() {
         let t = small_trace();
-        let with =
-            run_large_scale(&t, &LargeScaleConfig::new(40, OptimizerKind::Ipac)).unwrap();
+        let with = run_large_scale(&t, &LargeScaleConfig::new(40, OptimizerKind::Ipac)).unwrap();
         let without =
-            run_large_scale(&t, &LargeScaleConfig::new(40, OptimizerKind::IpacNoDvfs))
-                .unwrap();
+            run_large_scale(&t, &LargeScaleConfig::new(40, OptimizerKind::IpacNoDvfs)).unwrap();
         assert!(
             with.energy_per_vm_wh < without.energy_per_vm_wh,
             "DVFS should save energy: {} vs {}",
@@ -448,7 +441,11 @@ mod relief_tests {
         let r = run_large_scale(&t, &LargeScaleConfig::new(30, OptimizerKind::Ipac)).unwrap();
         assert!((0.0..=1.0).contains(&r.sla_violation_fraction));
         // Well-provisioned fleets should be (near-)violation-free.
-        assert!(r.sla_violation_fraction < 0.05, "{}", r.sla_violation_fraction);
+        assert!(
+            r.sla_violation_fraction < 0.05,
+            "{}",
+            r.sla_violation_fraction
+        );
     }
 
     #[test]

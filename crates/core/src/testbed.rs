@@ -139,7 +139,13 @@ impl Testbed {
             let mut ids = Vec::with_capacity(n_tiers);
             for (tier, &c_init) in c0.iter().enumerate() {
                 let vm_id = (a * n_tiers + tier) as u64;
-                dc.add_vm(VmSpec::for_app(vm_id, a as u32, tier as u32, c_init, 1024.0))?;
+                dc.add_vm(VmSpec::for_app(
+                    vm_id,
+                    a as u32,
+                    tier as u32,
+                    c_init,
+                    1024.0,
+                ))?;
                 let server = (a + tier) % dc.n_servers();
                 dc.place_vm(VmId(vm_id), server)?;
                 ids.push(VmId(vm_id));
@@ -388,7 +394,10 @@ mod overload_tests {
             .iter()
             .map(|s| s.response_ms.iter().filter(|r| r.is_some()).count())
             .sum();
-        assert!(measured > 200, "cluster starved: only {measured} measurements");
+        assert!(
+            measured > 200,
+            "cluster starved: only {measured} measurements"
+        );
         // Every controller's demand stays within its configured ceiling.
         for app in 0..cfg.n_apps {
             for &c in tb.controller(app).allocation() {
@@ -397,7 +406,11 @@ mod overload_tests {
         }
         // Power stays within the physical envelope of the 4 servers.
         for s in &samples {
-            assert!(s.power_w > 100.0 && s.power_w < 1200.0, "power {}", s.power_w);
+            assert!(
+                s.power_w > 100.0 && s.power_w < 1200.0,
+                "power {}",
+                s.power_w
+            );
         }
     }
 }

@@ -341,7 +341,9 @@ impl DataCenter {
                 continue;
             }
             let demand = self.server_demand_ghz(s)?;
-            let f = self.arbitrator.choose_frequency(&self.servers[s].spec, demand);
+            let f = self
+                .arbitrator
+                .choose_frequency(&self.servers[s].spec, demand);
             self.servers[s].state = ServerState::Active { freq_ghz: f };
         }
         Ok(())

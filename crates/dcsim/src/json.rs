@@ -1,0 +1,199 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The workspace builds with zero external dependencies (no `serde`), so
+//! results serialization is done with this tiny writer instead of derive
+//! macros: explicit, std-only, and more than enough for the flat records
+//! the experiment binaries and the bench harness emit.
+
+use crate::power::PowerModel;
+use crate::server::ServerSpec;
+use crate::vm::VmSpec;
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (non-finite values become `null`,
+/// which JSON cannot represent as numbers).
+pub fn num(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{:.1}", x)
+    } else {
+        // Display for f64 is the shortest decimal that round-trips exactly.
+        format!("{x}")
+    }
+}
+
+/// Builder for a JSON object. Fields appear in insertion order.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<String>,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> JsonObject {
+        self.fields
+            .push(format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Add a numeric field.
+    pub fn num(mut self, key: &str, value: f64) -> JsonObject {
+        self.fields
+            .push(format!("\"{}\":{}", escape(key), num(value)));
+        self
+    }
+
+    /// Add an integer field (exact, no float formatting).
+    pub fn int(mut self, key: &str, value: i64) -> JsonObject {
+        self.fields.push(format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> JsonObject {
+        self.fields.push(format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Add a pre-rendered JSON value (object, array, …) verbatim.
+    pub fn raw(mut self, key: &str, rendered: &str) -> JsonObject {
+        self.fields
+            .push(format!("\"{}\":{}", escape(key), rendered));
+        self
+    }
+
+    /// Add an array of numbers.
+    pub fn nums(mut self, key: &str, values: &[f64]) -> JsonObject {
+        let items: Vec<String> = values.iter().map(|&v| num(v)).collect();
+        self.fields
+            .push(format!("\"{}\":[{}]", escape(key), items.join(",")));
+        self
+    }
+
+    /// Render the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+/// Render a slice of pre-rendered JSON values as an array.
+pub fn array(rendered: &[String]) -> String {
+    format!("[{}]", rendered.join(","))
+}
+
+impl PowerModel {
+    /// Hand-rolled JSON rendering of the model parameters.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .num("sleep_watts", self.sleep_watts)
+            .num("static_watts", self.static_watts)
+            .num("max_watts", self.max_watts)
+            .build()
+    }
+}
+
+impl ServerSpec {
+    /// Hand-rolled JSON rendering of the catalog entry.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("name", &self.name)
+            .int("cores", self.cores as i64)
+            .num("max_freq_ghz", self.max_freq_ghz)
+            .num("memory_mib", self.memory_mib)
+            .num("wake_latency_s", self.wake_latency_s)
+            .nums("freq_levels_ghz", &self.freq_levels_ghz)
+            .raw("power", &self.power.to_json())
+            .build()
+    }
+}
+
+impl VmSpec {
+    /// Hand-rolled JSON rendering of the VM descriptor.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .int("id", self.id.0 as i64)
+            .num("cpu_demand_ghz", self.cpu_demand_ghz)
+            .num("memory_mib", self.memory_mib)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmId;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_render_compactly_and_roundtrip() {
+        assert_eq!(num(3.0), "3.0");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        let x = 0.1 + 0.2;
+        let rendered = num(x);
+        let parsed: f64 = rendered.parse().unwrap();
+        assert_eq!(parsed.to_bits(), x.to_bits(), "17-digit round-trip");
+    }
+
+    #[test]
+    fn object_builder_renders_valid_json() {
+        let j = JsonObject::new()
+            .str("name", "dual 2 GHz")
+            .int("cores", 2)
+            .bool("active", true)
+            .nums("xs", &[1.0, 2.5])
+            .raw("nested", &JsonObject::new().int("k", 1).build())
+            .build();
+        assert_eq!(
+            j,
+            "{\"name\":\"dual 2 GHz\",\"cores\":2,\"active\":true,\
+             \"xs\":[1.0,2.5],\"nested\":{\"k\":1}}"
+        );
+    }
+
+    #[test]
+    fn spec_serialization_contains_fields() {
+        let spec = ServerSpec::type_dual_2ghz();
+        let j = spec.to_json();
+        assert!(j.contains("\"name\":"));
+        assert!(j.contains("\"freq_levels_ghz\":["));
+        assert!(j.contains("\"power\":{"));
+        let vm = VmSpec::new(7, 1.25, 512.0);
+        assert!(vm.to_json().contains("\"id\":7"));
+        let _ = VmId(7);
+    }
+
+    #[test]
+    fn array_joins_items() {
+        let items = vec!["1".to_string(), "{\"a\":2}".to_string()];
+        assert_eq!(array(&items), "[1,{\"a\":2}]");
+    }
+}

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod datacenter;
+pub mod json;
 pub mod power;
 pub mod server;
 pub mod vm;

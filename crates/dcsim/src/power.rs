@@ -18,10 +18,8 @@
 //! DVFS saves real power, but far less than sleeping a whole server, which
 //! is exactly the trade-off the paper's two-level design exploits (§III).
 
-use serde::{Deserialize, Serialize};
-
 /// Parametric power model of one server.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Power when the server sleeps (suspend-to-RAM), watts.
     pub sleep_watts: f64,

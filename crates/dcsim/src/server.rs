@@ -6,10 +6,9 @@
 //! demands, and then throttles the processor … using DVFS" (§IV).
 
 use crate::power::PowerModel;
-use serde::{Deserialize, Serialize};
 
 /// Static description of a server model (the "catalog" entry).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerSpec {
     /// Human-readable model name.
     pub name: String,
@@ -97,7 +96,7 @@ impl ServerSpec {
 }
 
 /// Runtime power state of a server.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ServerState {
     /// Active at the given per-core frequency (GHz).
     Active {
@@ -200,10 +199,7 @@ impl CpuArbitrator {
                 return f;
             }
         }
-        *spec
-            .freq_levels_ghz
-            .last()
-            .unwrap_or(&spec.max_freq_ghz)
+        *spec.freq_levels_ghz.last().unwrap_or(&spec.max_freq_ghz)
     }
 
     /// Scale VM allocations down proportionally when aggregate demand

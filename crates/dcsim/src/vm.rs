@@ -6,10 +6,8 @@
 //! administrator-defined constraint of §VII-B). The `app` tag ties tier VMs
 //! back to their application.
 
-use serde::{Deserialize, Serialize};
-
 /// Opaque VM identifier, unique within a [`crate::DataCenter`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VmId(pub u64);
 
 impl std::fmt::Display for VmId {
@@ -19,7 +17,7 @@ impl std::fmt::Display for VmId {
 }
 
 /// Descriptor of one VM.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmSpec {
     /// Identifier.
     pub id: VmId,

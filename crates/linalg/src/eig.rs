@@ -53,9 +53,7 @@ pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>> {
 
 /// Spectral radius `max |λᵢ|` of a small square matrix.
 pub fn spectral_radius(a: &Matrix) -> Result<f64> {
-    Ok(eigenvalues(a)?
-        .iter()
-        .fold(0.0_f64, |m, z| m.max(z.abs())))
+    Ok(eigenvalues(a)?.iter().fold(0.0_f64, |m, z| m.max(z.abs())))
 }
 
 #[cfg(test)]
@@ -127,9 +125,7 @@ mod tests {
         let eigs = eigenvalues(&a).unwrap();
         let sum: f64 = eigs.iter().map(|z| z.re).sum();
         assert!((sum - 12.0).abs() < 1e-7);
-        let prod = eigs
-            .iter()
-            .fold(Complex::ONE, |acc, &z| acc * z);
+        let prod = eigs.iter().fold(Complex::ONE, |acc, &z| acc * z);
         let det = crate::lu::Lu::new(&a).unwrap().det();
         assert!((prod.re - det).abs() < 1e-6);
         assert!(prod.im.abs() < 1e-6);

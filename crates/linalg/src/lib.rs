@@ -25,7 +25,6 @@
 //! performance; everything is `O(n³)` dense with partial pivoting.
 
 #![warn(missing_docs)]
-
 // Triangular-solve and factorization loops index by position on purpose:
 // the math (row/column recurrences with running offsets) reads better with
 // explicit indices than with iterator adaptors.

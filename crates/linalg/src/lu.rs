@@ -78,7 +78,11 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { lu, perm, perm_sign })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factorized matrix.
@@ -243,7 +247,9 @@ mod tests {
         // reproducible without pulling rand into the dependency set here.
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         for n in [1usize, 2, 5, 10, 20] {

@@ -81,7 +81,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build a diagonal matrix from a slice of diagonal entries.
@@ -294,7 +298,10 @@ impl Matrix {
     /// # Panics
     /// Panics if the block extends past the matrix bounds.
     pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of bounds");
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "block out of bounds"
+        );
         let mut out = Matrix::zeros(rows, cols);
         for r in 0..rows {
             out.row_mut(r)

@@ -119,10 +119,7 @@ impl Poly {
 
         // Initial guesses on a circle whose radius follows the Cauchy bound,
         // with an irrational angle offset to avoid symmetry stalls.
-        let radius = 1.0
-            + monic[..n]
-                .iter()
-                .fold(0.0_f64, |m, c| m.max(c.abs()));
+        let radius = 1.0 + monic[..n].iter().fold(0.0_f64, |m, c| m.max(c.abs()));
         let mut z: Vec<Complex> = (0..n)
             .map(|k| {
                 let theta = 2.0 * std::f64::consts::PI * k as f64 / n as f64 + 0.4;
@@ -136,9 +133,7 @@ impl Poly {
         // a monic degree-n polynomial with roots of magnitude r has
         // coefficients up to ~r^n, so |p| near a root is far above any
         // absolute epsilon for clustered large roots.
-        let residual_scale = monic
-            .iter()
-            .fold(1.0_f64, |m, c| m.max(c.abs()));
+        let residual_scale = monic.iter().fold(1.0_f64, |m, c| m.max(c.abs()));
         for _ in 0..MAX_ITER {
             let mut converged = true;
             let snapshot = z.clone();
@@ -188,8 +183,7 @@ impl Poly {
         // Accept if residuals are small even without step convergence
         // (clustered roots converge in value long before the pairwise
         // Aberth corrections settle).
-        if z
-            .iter()
+        if z.iter()
             .all(|&zi| p.eval_complex(zi).abs() < 1e-6 * residual_scale)
         {
             return Ok(z);

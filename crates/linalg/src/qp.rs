@@ -246,9 +246,7 @@ impl BoxQp {
                     match worst {
                         Some((i, _)) => w[i] = BoundSide::Free,
                         None => {
-                            let active = (0..n)
-                                .filter(|&i| w[i] != BoundSide::Free)
-                                .collect();
+                            let active = (0..n).filter(|&i| w[i] != BoundSide::Free).collect();
                             return Ok(QpSolution {
                                 objective: self.objective(&x),
                                 x,

@@ -286,6 +286,9 @@ mod tests {
         ]);
         let svd_cond = Svd::new(&a).unwrap().condition();
         let qr_cond = crate::qr::Qr::new(&a).unwrap().condition_estimate();
-        assert!(qr_cond <= svd_cond * (1.0 + 1e-9), "{qr_cond} vs {svd_cond}");
+        assert!(
+            qr_cond <= svd_cond * (1.0 + 1e-9),
+            "{qr_cond} vs {svd_cond}"
+        );
     }
 }

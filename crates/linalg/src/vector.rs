@@ -152,7 +152,12 @@ impl Add for &Vector {
     fn add(self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "vector add: length mismatch");
         Vector {
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -162,7 +167,12 @@ impl Sub for &Vector {
     fn sub(self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "vector sub: length mismatch");
         Vector {
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }

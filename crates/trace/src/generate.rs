@@ -9,8 +9,7 @@
 
 use crate::sector::Sector;
 use crate::store::{UtilizationTrace, VmTraceMeta};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use vdc_apptier::rng::SimRng;
 
 /// Configuration of the generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,14 +68,14 @@ struct VmParams {
 /// assert!(trace.utilization(0, 0) <= 1.0);
 /// ```
 pub fn generate_trace(cfg: &TraceConfig) -> UtilizationTrace {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
     let mut data = Vec::with_capacity(cfg.n_vms * cfg.n_samples);
     let mut meta = Vec::with_capacity(cfg.n_vms);
 
     for _ in 0..cfg.n_vms {
         // Sector mix: weighted toward telecom/financial like enterprise
         // fleets; each VM perturbs its sector's canonical shape.
-        let sector = match rng.random_range(0..10) {
+        let sector = match rng.index(10) {
             0..=2 => Sector::Manufacturing,
             3..=5 => Sector::Telecom,
             6..=7 => Sector::Financial,
@@ -84,14 +83,14 @@ pub fn generate_trace(cfg: &TraceConfig) -> UtilizationTrace {
         };
         let mut p = VmParams {
             sector,
-            scale: 0.6 + 0.8 * rng.random::<f64>(),
-            phase_h: rng.random::<f64>() * 3.0 - 1.5,
+            scale: 0.6 + 0.8 * rng.uniform(),
+            phase_h: rng.uniform() * 3.0 - 1.5,
             ar_state: 0.0,
         };
         // Nominal source-server capacity: 1–4 GHz-class machines.
-        let nominal_ghz = [1.0, 1.5, 2.0, 3.0, 4.0][rng.random_range(0..5)];
+        let nominal_ghz = *rng.pick(&[1.0, 1.5, 2.0, 3.0, 4.0]);
         // Memory: 512 MiB – 4 GiB, correlated with capacity.
-        let memory_mib = 512.0 * (1.0 + rng.random_range(0..=(nominal_ghz * 2.0) as u32) as f64);
+        let memory_mib = 512.0 * (1.0 + rng.index((nominal_ghz * 2.0) as usize + 1) as f64);
 
         for t in 0..cfg.n_samples {
             let u = sample_utilization(&mut p, t, cfg.interval_s, &mut rng);
@@ -107,7 +106,7 @@ pub fn generate_trace(cfg: &TraceConfig) -> UtilizationTrace {
 }
 
 /// One utilization sample for one VM.
-fn sample_utilization(p: &mut VmParams, t: usize, interval_s: f64, rng: &mut SmallRng) -> f64 {
+fn sample_utilization(p: &mut VmParams, t: usize, interval_s: f64, rng: &mut SimRng) -> f64 {
     let shape = p.sector.shape();
     let hours = t as f64 * interval_s / 3600.0;
     let hour_of_day = (hours + p.phase_h).rem_euclid(24.0);
@@ -120,12 +119,12 @@ fn sample_utilization(p: &mut VmParams, t: usize, interval_s: f64, rng: &mut Sma
     let diurnal = shape.diurnal_amp * 0.5 * (1.0 + angle.cos());
 
     // AR(1) noise keeps consecutive samples correlated.
-    let white: f64 = rng.random::<f64>() * 2.0 - 1.0;
+    let white: f64 = rng.uniform() * 2.0 - 1.0;
     p.ar_state = 0.85 * p.ar_state + shape.noise_sd * white;
 
     // Flash crowd.
-    let spike = if rng.random::<f64>() < shape.spike_prob {
-        shape.spike_amp * (0.5 + rng.random::<f64>())
+    let spike = if rng.uniform() < shape.spike_prob {
+        shape.spike_amp * (0.5 + rng.uniform())
     } else {
         0.0
     };
@@ -217,10 +216,7 @@ mod tests {
             let s = t.series(vm);
             let mean = s.iter().sum::<f64>() / s.len() as f64;
             let var: f64 = s.iter().map(|u| (u - mean).powi(2)).sum();
-            let cov: f64 = s
-                .windows(2)
-                .map(|w| (w[0] - mean) * (w[1] - mean))
-                .sum();
+            let cov: f64 = s.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
             if var > 1e-12 {
                 acc += cov / var;
             }

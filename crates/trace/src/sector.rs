@@ -4,10 +4,8 @@
 //! retail sectors" (§VI-B). Each sector gets a characteristic diurnal
 //! profile; the generator perturbs these per VM.
 
-use serde::{Deserialize, Serialize};
-
 /// Industry sector of a traced VM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sector {
     /// Manufacturing: flat-ish shift-based load, mild diurnal swing.
     Manufacturing,

@@ -34,8 +34,7 @@ pub fn trace_stats(trace: &UtilizationTrace, n_vms: usize) -> TraceStats {
     let mut peak_sum = 0.0;
     let mut rho_sum = 0.0;
     let mut rho_count = 0usize;
-    let mut sector_counts: Vec<(Sector, usize)> =
-        Sector::ALL.iter().map(|&s| (s, 0)).collect();
+    let mut sector_counts: Vec<(Sector, usize)> = Sector::ALL.iter().map(|&s| (s, 0)).collect();
     let mut aggregate = vec![0.0_f64; samples];
 
     for vm in 0..n {
@@ -69,7 +68,11 @@ pub fn trace_stats(trace: &UtilizationTrace, n_vms: usize) -> TraceStats {
     TraceStats {
         mean_utilization: mean_sum / n as f64,
         mean_peak_utilization: peak_sum / n as f64,
-        aggregate_peak_to_mean: if agg_mean > 0.0 { agg_peak / agg_mean } else { 0.0 },
+        aggregate_peak_to_mean: if agg_mean > 0.0 {
+            agg_peak / agg_mean
+        } else {
+            0.0
+        },
         mean_lag1_autocorrelation: if rho_count > 0 {
             rho_sum / rho_count as f64
         } else {

@@ -1,11 +1,10 @@
 //! Trace storage and CSV interchange.
 
 use crate::sector::Sector;
-use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufWriter, Write};
 
 /// Per-VM metadata carried alongside the utilization series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmTraceMeta {
     /// Sector the source server belonged to.
     pub sector: Sector,
@@ -153,12 +152,69 @@ impl UtilizationTrace {
         )?;
         for vm in 0..self.n_vms {
             let m = &self.meta[vm];
-            write!(out, "{},{},{},{}", vm, m.sector.name(), m.nominal_ghz, m.memory_mib)?;
+            write!(
+                out,
+                "{},{},{},{}",
+                vm,
+                m.sector.name(),
+                m.nominal_ghz,
+                m.memory_mib
+            )?;
             for &u in self.series(vm) {
                 write!(out, ",{:.4}", u)?;
             }
             writeln!(out)?;
         }
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Write as TSV: a header row naming the columns, then one row per VM
+    /// (`vm`, `sector`, `nominal_ghz`, `memory_mib`, `u0`…). Hand-rolled —
+    /// the workspace has no serialization dependency by design.
+    pub fn write_tsv<W: Write>(&self, w: W) -> Result<(), TraceError> {
+        let mut out = BufWriter::new(w);
+        write!(out, "vm\tsector\tnominal_ghz\tmemory_mib")?;
+        for t in 0..self.n_samples {
+            write!(out, "\tu{t}")?;
+        }
+        writeln!(out)?;
+        for vm in 0..self.n_vms {
+            let m = &self.meta[vm];
+            write!(
+                out,
+                "{vm}\t{}\t{}\t{}",
+                m.sector.name(),
+                m.nominal_ghz,
+                m.memory_mib
+            )?;
+            for &u in self.series(vm) {
+                write!(out, "\t{u:.4}")?;
+            }
+            writeln!(out)?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Write the per-VM metadata as a hand-rolled JSON array, one object
+    /// per VM: `{"vm":0,"sector":"retail","nominal_ghz":2.0,…}`.
+    pub fn write_meta_json<W: Write>(&self, w: W) -> Result<(), TraceError> {
+        let mut out = BufWriter::new(w);
+        write!(out, "[")?;
+        for (vm, m) in self.meta.iter().enumerate() {
+            if vm > 0 {
+                write!(out, ",")?;
+            }
+            write!(
+                out,
+                "{{\"vm\":{vm},\"sector\":\"{}\",\"nominal_ghz\":{},\"memory_mib\":{}}}",
+                m.sector.name(),
+                m.nominal_ghz,
+                m.memory_mib
+            )?;
+        }
+        writeln!(out, "]")?;
         out.flush()?;
         Ok(())
     }
@@ -203,9 +259,8 @@ impl UtilizationTrace {
                 .ok_or_else(|| TraceError::Parse(format!("line {lineno}: bad memory_mib")))?;
             let series: Result<Vec<f64>, _> = fields
                 .map(|s| {
-                    s.parse::<f64>().map_err(|_| {
-                        TraceError::Parse(format!("line {lineno}: bad sample {s:?}"))
-                    })
+                    s.parse::<f64>()
+                        .map_err(|_| TraceError::Parse(format!("line {lineno}: bad sample {s:?}")))
                 })
                 .collect();
             let series = series?;
@@ -231,7 +286,9 @@ impl UtilizationTrace {
         }
         let n_samples =
             n_samples.ok_or_else(|| TraceError::Parse("trace has no VM rows".into()))?;
-        Ok(UtilizationTrace::from_parts(n_samples, interval_s, data, meta))
+        Ok(UtilizationTrace::from_parts(
+            n_samples, interval_s, data, meta,
+        ))
     }
 }
 
@@ -310,13 +367,41 @@ mod tests {
     }
 
     #[test]
+    fn tsv_has_header_and_rows() {
+        let t = small_trace();
+        let mut buf = Vec::new();
+        t.write_tsv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "vm\tsector\tnominal_ghz\tmemory_mib\tu0\tu1\tu2"
+        );
+        let row: Vec<&str> = lines.next().unwrap().split('\t').collect();
+        assert_eq!(&row[..4], &["0", "financial", "2", "1024"]);
+        assert_eq!(row.len(), 4 + 3);
+        assert_eq!(text.lines().count(), 1 + 2);
+    }
+
+    #[test]
+    fn meta_json_is_wellformed() {
+        let t = small_trace();
+        let mut buf = Vec::new();
+        t.write_meta_json(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with('[') && text.trim_end().ends_with(']'));
+        assert!(text.contains("\"sector\":\"financial\""));
+        assert!(text.contains("\"vm\":1"));
+        assert_eq!(text.matches("{\"vm\":").count(), 2);
+    }
+
+    #[test]
     fn csv_rejects_garbage() {
         assert!(UtilizationTrace::read_csv(&b""[..]).is_err());
         assert!(UtilizationTrace::read_csv(&b"# nonsense header\n"[..]).is_err());
         let bad_sector = b"# interval_s=900\n0,agriculture,1.0,512,0.5\n";
         assert!(UtilizationTrace::read_csv(&bad_sector[..]).is_err());
-        let ragged =
-            b"# interval_s=900\n0,retail,1.0,512,0.5,0.6\n1,retail,1.0,512,0.5\n";
+        let ragged = b"# interval_s=900\n0,retail,1.0,512,0.5,0.6\n1,retail,1.0,512,0.5\n";
         assert!(UtilizationTrace::read_csv(&ragged[..]).is_err());
         let bad_sample = b"# interval_s=900\n0,retail,1.0,512,zebra\n";
         assert!(UtilizationTrace::read_csv(&bad_sample[..]).is_err());

@@ -1,33 +1,35 @@
 //! Property-based tests for trace generation and I/O.
 
-use proptest::prelude::*;
+use vdc_check::{ascii_string, check, choose, from_fn, prop_assert, prop_assert_eq, Gen, TestRng};
 use vdc_trace::{generate_trace, Sector, TraceConfig, UtilizationTrace, VmTraceMeta};
 
-fn meta_strategy() -> impl Strategy<Value = VmTraceMeta> {
-    (
-        prop_oneof![
-            Just(Sector::Manufacturing),
-            Just(Sector::Telecom),
-            Just(Sector::Financial),
-            Just(Sector::Retail),
-        ],
-        0.5f64..8.0,
-        128.0f64..8192.0,
-    )
-        .prop_map(|(sector, nominal_ghz, memory_mib)| VmTraceMeta {
-            sector,
-            nominal_ghz,
-            memory_mib,
-        })
+const CASES: u32 = 32;
+
+fn gen_meta(rng: &mut TestRng) -> VmTraceMeta {
+    let sector = choose(&[
+        Sector::Manufacturing,
+        Sector::Telecom,
+        Sector::Financial,
+        Sector::Retail,
+    ])
+    .generate(rng);
+    VmTraceMeta {
+        sector,
+        nominal_ghz: rng.f64_in(0.5, 8.0),
+        memory_mib: rng.f64_in(128.0, 8192.0),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn generated_utilization_always_in_unit_range(
-        (n_vms, n_samples, seed) in (1usize..30, 1usize..200, 0u64..10_000)
-    ) {
+#[test]
+fn generated_utilization_always_in_unit_range() {
+    let gen = from_fn(|rng: &mut TestRng| {
+        (
+            rng.usize_in(1, 30),
+            rng.usize_in(1, 200),
+            rng.u64_in(0, 10_000),
+        )
+    });
+    check(CASES, &gen, |&(n_vms, n_samples, seed)| {
         let t = generate_trace(&TraceConfig {
             n_vms,
             n_samples,
@@ -42,16 +44,19 @@ proptest! {
             }
             prop_assert!(t.meta(vm).nominal_ghz > 0.0);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn csv_roundtrip_arbitrary_traces(
-        (metas, n_samples, seed) in (
-            proptest::collection::vec(meta_strategy(), 1..10),
-            1usize..50,
-            0u64..1000,
-        )
-    ) {
+#[test]
+fn csv_roundtrip_arbitrary_traces() {
+    let gen = from_fn(|rng: &mut TestRng| {
+        let n_vms = rng.usize_in(1, 10);
+        let metas: Vec<VmTraceMeta> = (0..n_vms).map(|_| gen_meta(rng)).collect();
+        (metas, rng.usize_in(1, 50), rng.u64_in(0, 1000))
+    });
+    check(CASES, &gen, |(metas, n_samples, seed)| {
+        let (n_samples, seed) = (*n_samples, *seed);
         // Build a trace with pseudo-random but valid utilizations.
         let n_vms = metas.len();
         let mut state = seed.wrapping_add(1);
@@ -60,7 +65,7 @@ proptest! {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
             data.push(((state >> 11) as f64 / (1u64 << 53) as f64).clamp(0.0, 1.0));
         }
-        let t = UtilizationTrace::from_parts(n_samples, 900.0, data, metas);
+        let t = UtilizationTrace::from_parts(n_samples, 900.0, data, metas.clone());
         let mut buf = Vec::new();
         t.write_csv(&mut buf).unwrap();
         let parsed = UtilizationTrace::read_csv(buf.as_slice()).unwrap();
@@ -74,12 +79,20 @@ proptest! {
                 prop_assert!((parsed.utilization(vm, k) - t.utilization(vm, k)).abs() < 5e-5);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn head_preserves_prefix(
-        (n_vms, keep, seed) in (2usize..20, 1usize..20, 0u64..1000)
-    ) {
+#[test]
+fn head_preserves_prefix() {
+    let gen = from_fn(|rng: &mut TestRng| {
+        (
+            rng.usize_in(2, 20),
+            rng.usize_in(1, 20),
+            rng.u64_in(0, 1000),
+        )
+    });
+    check(CASES, &gen, |&(n_vms, keep, seed)| {
         let t = generate_trace(&TraceConfig {
             n_vms,
             n_samples: 24,
@@ -91,12 +104,21 @@ proptest! {
         for vm in 0..h.n_vms() {
             prop_assert_eq!(h.series(vm), t.series(vm));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn demand_is_utilization_times_nominal(
-        (n_vms, seed, vm_pick, t_pick) in (1usize..10, 0u64..1000, 0usize..10, 0usize..30)
-    ) {
+#[test]
+fn demand_is_utilization_times_nominal() {
+    let gen = from_fn(|rng: &mut TestRng| {
+        (
+            rng.usize_in(1, 10),
+            rng.u64_in(0, 1000),
+            rng.usize_in(0, 10),
+            rng.usize_in(0, 30),
+        )
+    });
+    check(CASES, &gen, |&(n_vms, seed, vm_pick, t_pick)| {
         let t = generate_trace(&TraceConfig {
             n_vms,
             n_samples: 30,
@@ -108,23 +130,26 @@ proptest! {
         let expect = t.utilization(vm, t_pick) * t.meta(vm).nominal_ghz;
         prop_assert!((d - expect).abs() < 1e-12);
         prop_assert!(d <= t.meta(vm).nominal_ghz + 1e-12);
-    }
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Robustness: the CSV reader must reject or accept arbitrary junk
-    /// without panicking.
-    #[test]
-    fn csv_reader_never_panics_on_junk(junk in ".{0,400}") {
+/// Robustness: the CSV reader must reject or accept arbitrary junk without
+/// panicking.
+#[test]
+fn csv_reader_never_panics_on_junk() {
+    check(128, &ascii_string(0, 400), |junk| {
         let _ = UtilizationTrace::read_csv(junk.as_bytes());
-    }
+        Ok(())
+    });
+}
 
-    /// Header-shaped junk with arbitrary bodies must also be panic-free.
-    #[test]
-    fn csv_reader_never_panics_on_near_miss(body in ".{0,300}") {
+/// Header-shaped junk with arbitrary bodies must also be panic-free.
+#[test]
+fn csv_reader_never_panics_on_near_miss() {
+    check(128, &ascii_string(0, 300), |body| {
         let input = format!("# vdcpower utilization trace: interval_s=900\n{body}\n");
         let _ = UtilizationTrace::read_csv(input.as_bytes());
-    }
+        Ok(())
+    });
 }

@@ -89,7 +89,5 @@ fn main() {
         let _ = step;
     }
     let mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
-    println!(
-        "\nsteady-state p90 at concurrency 70: {mean:.0} ms (set point {setpoint} ms)"
-    );
+    println!("\nsteady-state p90 at concurrency 70: {mean:.0} ms (set point {setpoint} ms)");
 }

@@ -37,7 +37,10 @@ fn main() {
     trace.write_csv(&mut buf).unwrap();
     let reparsed = UtilizationTrace::read_csv(buf.as_slice()).unwrap();
     assert_eq!(reparsed.n_vms(), trace.n_vms());
-    println!("  CSV round-trip OK ({:.1} MiB)", buf.len() as f64 / (1 << 20) as f64);
+    println!(
+        "  CSV round-trip OK ({:.1} MiB)",
+        buf.len() as f64 / (1 << 20) as f64
+    );
 
     // One run per scheme over the full week.
     println!("\nreplaying the week under each optimizer:");
@@ -53,11 +56,7 @@ fn main() {
         let r = run_large_scale(&trace, &LargeScaleConfig::new(n_vms, kind)).unwrap();
         println!(
             "{:<16} {:>12.1} {:>12} {:>12.1} {:>14}",
-            name,
-            r.energy_per_vm_wh,
-            r.migrations,
-            r.mean_active_servers,
-            r.optimizer_invocations
+            name, r.energy_per_vm_wh, r.migrations, r.mean_active_servers, r.optimizer_invocations
         );
     }
     println!(

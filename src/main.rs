@@ -16,13 +16,13 @@ use std::fs::File;
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
 
+use vdcpower::apptier::{AppSim, WorkloadProfile};
 use vdcpower::control::analysis::{achievable_range, analyze_closed_loop};
 use vdcpower::control::{MpcConfig, ReferenceTrajectory};
 use vdcpower::core::controller::{identify_plant, IdentificationConfig};
 use vdcpower::core::experiments::MeanStd;
 use vdcpower::core::largescale::{run_large_scale, LargeScaleConfig, OptimizerKind};
 use vdcpower::core::testbed::{Testbed, TestbedConfig};
-use vdcpower::apptier::{AppSim, WorkloadProfile};
 use vdcpower::trace::{generate_trace, trace_stats, TraceConfig, UtilizationTrace};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -68,8 +68,7 @@ fn cmd_identify(args: &[String]) -> ExitCode {
     let concurrency = arg_num(args, "--concurrency", 40usize);
     let seed = arg_num(args, "--seed", 42u64);
     println!("identifying at concurrency {concurrency} (seed {seed})...");
-    let mut plant = match AppSim::new(WorkloadProfile::rubbos(), concurrency, &[1.0, 1.0], seed)
-    {
+    let mut plant = match AppSim::new(WorkloadProfile::rubbos(), concurrency, &[1.0, 1.0], seed) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("plant construction failed: {e}");
@@ -193,9 +192,7 @@ fn cmd_largescale(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "largescale: {n_vms} VMs, {samples} samples @ 15 min, optimizer {optimizer:?}"
-    );
+    println!("largescale: {n_vms} VMs, {samples} samples @ 15 min, optimizer {optimizer:?}");
     let trace = generate_trace(&TraceConfig {
         n_vms,
         n_samples: samples,
@@ -289,7 +286,10 @@ fn cmd_trace_info(args: &[String]) -> ExitCode {
         trace.duration_s() / 86400.0
     );
     let stats = trace_stats(&trace, trace.n_vms());
-    println!("mean utilization      {:.1} %", 100.0 * stats.mean_utilization);
+    println!(
+        "mean utilization      {:.1} %",
+        100.0 * stats.mean_utilization
+    );
     println!(
         "mean per-VM peak      {:.1} %",
         100.0 * stats.mean_peak_utilization
@@ -298,10 +298,7 @@ fn cmd_trace_info(args: &[String]) -> ExitCode {
         "lag-1 autocorrelation {:.2}",
         stats.mean_lag1_autocorrelation
     );
-    println!(
-        "aggregate peak/mean   {:.2}",
-        stats.aggregate_peak_to_mean
-    );
+    println!("aggregate peak/mean   {:.2}", stats.aggregate_peak_to_mean);
     println!("sector mix:");
     for (sector, count) in &stats.sector_counts {
         println!("  {:<15} {count}", sector.name());

@@ -1,0 +1,77 @@
+//! Tier-1 determinism gate: the full co-simulation must be bit-identical
+//! across runs with the same seed.
+//!
+//! The hermetic PRNG (`vdc_apptier::rng::SimRng`) is the only randomness
+//! source in the workspace, so two same-seed runs must agree on every f64
+//! of the recorded power and response-time trajectories — not just within
+//! a tolerance. Comparing `to_bits` makes any nondeterminism (HashMap
+//! iteration, thread interleaving, platform math differences inside one
+//! build) a hard failure.
+
+use vdc_core::cosim::{run_cosim, CosimConfig, CosimResult};
+use vdc_trace::{generate_trace, TraceConfig};
+
+fn small_run(seed: u64) -> CosimResult {
+    let trace = generate_trace(&TraceConfig {
+        n_vms: 12,
+        n_samples: 24,
+        interval_s: 900.0,
+        seed: seed ^ 0x7ACE,
+    });
+    let cfg = CosimConfig {
+        n_apps: 6,
+        control_periods_per_sample: 2,
+        optimizer_period_samples: 8,
+        seed,
+        ..Default::default()
+    };
+    run_cosim(&trace, &cfg).expect("co-simulation runs")
+}
+
+fn bits(series: &[f64]) -> Vec<u64> {
+    series.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    let a = small_run(0xD5EED);
+    let b = small_run(0xD5EED);
+    assert_eq!(
+        bits(&a.power_series_w),
+        bits(&b.power_series_w),
+        "power trajectory diverged between same-seed runs"
+    );
+    assert_eq!(
+        bits(&a.response_series_ms),
+        bits(&b.response_series_ms),
+        "response-time trajectory diverged between same-seed runs"
+    );
+    assert_eq!(a.total_energy_wh.to_bits(), b.total_energy_wh.to_bits());
+    assert_eq!(a.migrations, b.migrations);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = small_run(1);
+    let b = small_run(2);
+    assert_ne!(
+        bits(&a.power_series_w),
+        bits(&b.power_series_w),
+        "different seeds produced identical power trajectories"
+    );
+}
+
+#[test]
+fn trajectories_cover_every_sample_and_are_physical() {
+    let r = small_run(42);
+    assert_eq!(r.power_series_w.len(), 24);
+    assert_eq!(r.response_series_ms.len(), 24);
+    for &w in &r.power_series_w {
+        assert!(w.is_finite() && w >= 0.0, "power sample {w}");
+    }
+    for &ms in &r.response_series_ms {
+        // -1.0 is the no-measurement sentinel; everything else is a mean
+        // response time in milliseconds.
+        assert!(ms == -1.0 || (ms.is_finite() && ms > 0.0), "response {ms}");
+    }
+}

@@ -47,8 +47,7 @@ fn controllers_and_optimizer_integrate_on_the_testbed() {
     let mut tb = Testbed::build(&cfg).expect("testbed builds");
     tb.run(50).expect("warm-up");
     let before = tb.run(10).expect("pre-optimizer sample");
-    let before_power =
-        before.iter().map(|s| s.power_w).sum::<f64>() / before.len() as f64;
+    let before_power = before.iter().map(|s| s.power_w).sum::<f64>() / before.len() as f64;
 
     let mut opt = PowerOptimizer::new(OptimizerConfig::ipac_default());
     let stats = tb.run_optimizer(&mut opt).expect("optimizer runs");
@@ -110,8 +109,7 @@ fn migration_counters_and_energy_are_consistent() {
         interval_s: 900.0,
         seed: 77,
     });
-    let r = run_large_scale(&trace, &LargeScaleConfig::new(30, OptimizerKind::Ipac))
-        .expect("run");
+    let r = run_large_scale(&trace, &LargeScaleConfig::new(30, OptimizerKind::Ipac)).expect("run");
     assert_eq!(r.n_vms, 30);
     assert!((r.energy_per_vm_wh * 30.0 - r.total_energy_wh).abs() < 1e-6);
     assert!(r.mean_active_servers <= r.peak_active_servers as f64);

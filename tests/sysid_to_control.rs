@@ -5,9 +5,7 @@
 
 use vdcpower::apptier::{AppSim, WorkloadProfile};
 use vdcpower::control::stability::{is_stable, model_poles};
-use vdcpower::core::controller::{
-    identify_plant, IdentificationConfig, ResponseTimeController,
-};
+use vdcpower::core::controller::{identify_plant, IdentificationConfig, ResponseTimeController};
 
 fn ident_cfg() -> IdentificationConfig {
     IdentificationConfig {
@@ -65,8 +63,7 @@ fn three_tier_application_is_controllable() {
     let mut twin = AppSim::new(profile.clone(), 30, &[1.0, 1.0, 1.0], 8).unwrap();
     let model = identify_plant(&mut twin, &ident_cfg(), 88).unwrap();
     assert_eq!(model.n_inputs(), 3);
-    let mut ctrl =
-        ResponseTimeController::new(model, 1000.0, 4.0, &[1.0, 1.0, 1.0]).unwrap();
+    let mut ctrl = ResponseTimeController::new(model, 1000.0, 4.0, &[1.0, 1.0, 1.0]).unwrap();
     let mut plant = AppSim::new(profile, 30, &[1.0, 1.0, 1.0], 9).unwrap();
     let mut tail = Vec::new();
     for k in 0..110 {
