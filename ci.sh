@@ -23,4 +23,9 @@ run cargo clippy --all-targets --offline -- -D warnings
 run cargo build --release --offline
 run cargo test -q --offline
 
+# Telemetry-overhead smoke check: an instrumented co-simulation must stay
+# within a generous factor of the no-op-sink run (release build, so the
+# ratio reflects real relative cost, not debug-build noise).
+run cargo test -q --release --offline --test telemetry_overhead
+
 echo "==> ci.sh: all gates passed"

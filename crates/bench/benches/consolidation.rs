@@ -4,7 +4,7 @@
 //! at growing data-center sizes.
 
 use std::hint::black_box;
-use vdc_apptier::rng::SimRng;
+use vdc_apptier::rng::{seed_stream, SimRng};
 use vdc_bench::harness::BenchHarness;
 use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::ffd::first_fit_decreasing;
@@ -51,7 +51,7 @@ fn make_servers(n: usize, seed: u64) -> Vec<PackServer> {
 /// A populated snapshot: items spread round-robin (inefficient placement).
 fn populated(servers: usize, vms: usize, seed: u64) -> Vec<PackServer> {
     let mut s = make_servers(servers, seed);
-    for item in make_items(vms, seed ^ 0x9E37) {
+    for item in make_items(vms, seed_stream(seed, 1)) {
         let slot = (item.vm.0 as usize) % s.len();
         s[slot].resident.push(item);
         s[slot].active = true;

@@ -9,14 +9,22 @@
 //!
 //! ```text
 //! cargo run -p vdc-bench --bin cosim --release [--apps 100] [--days 7] [--quick]
+//!     [--quiet|-q] [--verbose|-v]
 //! ```
+//!
+//! The dynamic run is instrumented: `results/METRICS_cosim.json` / `.tsv`
+//! capture MPC phase timings, DVFS transition counts, and per-app SLO
+//! accounting (see DESIGN.md §Telemetry).
 
 use vdc_bench::{arg_num, arg_present, figure_header, rule};
-use vdc_core::cosim::{run_cosim, CosimConfig};
+use vdc_core::cosim::{run_cosim, run_cosim_with_telemetry, CosimConfig};
+use vdc_telemetry::export::write_metrics;
+use vdc_telemetry::{Reporter, Telemetry};
 use vdc_trace::{generate_trace, TraceConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let reporter = Reporter::from_args(&args);
     let quick = arg_present(&args, "--quick");
     let n_apps = arg_num(&args, "--apps", if quick { 30 } else { 100 });
     let days = arg_num(&args, "--days", if quick { 1 } else { 7 });
@@ -32,17 +40,20 @@ fn main() {
         interval_s: 900.0,
         seed,
     });
-    println!(
-        "{} two-tier applications over {} day(s); optimizer every 4 h; relief every 15 min",
-        n_apps, days
-    );
+    reporter.info(&format!(
+        "{n_apps} two-tier applications over {days} day(s); optimizer every 4 h; \
+         relief every 15 min"
+    ));
 
     let base = CosimConfig {
         n_apps,
         seed,
         ..Default::default()
     };
-    let dynamic = run_cosim(&trace, &base).expect("dynamic run failed");
+    let telemetry = Telemetry::enabled();
+    reporter.debug("running the dynamic (MPC + IPAC + DVFS) configuration");
+    let dynamic = run_cosim_with_telemetry(&trace, &base, &telemetry).expect("dynamic run failed");
+    reporter.debug("running the static peak-provisioned baseline");
     let static_peak = run_cosim(
         &trace,
         &CosimConfig {
@@ -80,4 +91,8 @@ fn main() {
          the set point, which wastes power rather than violating the SLA).",
         100.0 * saving
     );
+    match write_metrics(&telemetry, "cosim", "results") {
+        Ok(path) => println!("metrics -> {path}"),
+        Err(e) => reporter.warn(&format!("could not write metrics: {e}")),
+    }
 }

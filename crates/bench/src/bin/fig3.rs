@@ -10,9 +10,11 @@
 use vdc_bench::{arg_num, figure_header, rule};
 use vdc_core::experiments::{fig3, fig3_static_baseline};
 use vdc_core::testbed::TestbedConfig;
+use vdc_telemetry::Reporter;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let reporter = Reporter::from_args(&args);
     let cfg = TestbedConfig {
         n_apps: arg_num(&args, "--apps", 8usize),
         concurrency: arg_num(&args, "--concurrency", 40usize),
@@ -30,10 +32,10 @@ fn main() {
         "Figure 3",
         "typical run under a workload surge: (a) App5 response time, (b) cluster power",
     );
-    println!(
+    reporter.info(&format!(
         "surge: concurrency {} → {} during [{:.0}, {:.0}) s of a {:.0} s run",
         cfg.concurrency, surge_c, surge_start, surge_end, total_s
-    );
+    ));
     let result = fig3(&cfg, app, total_s, surge_start, surge_end, surge_c).expect("fig3 failed");
 
     rule(54);

@@ -5,14 +5,22 @@
 //!
 //! ```text
 //! cargo run -p vdc-bench --bin week_profile --release [--vms 1030] [--quick]
+//!     [--quiet|-q] [--verbose|-v]
 //! ```
+//!
+//! The run is instrumented: `results/METRICS_week_profile.json` / `.tsv`
+//! capture per-sample step cost, optimizer invocation stats, and DVFS
+//! transition counts (see DESIGN.md §Telemetry).
 
 use vdc_bench::{arg_num, arg_present, figure_header, rule};
 use vdc_core::largescale::{run_large_scale_with_series, LargeScaleConfig, OptimizerKind};
+use vdc_telemetry::export::write_metrics;
+use vdc_telemetry::{Reporter, Telemetry};
 use vdc_trace::{generate_trace, TraceConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let reporter = Reporter::from_args(&args);
     let quick = arg_present(&args, "--quick");
     let n_vms = arg_num(&args, "--vms", if quick { 200 } else { 1030 });
     let seed = arg_num(&args, "--seed", 5415u64);
@@ -34,10 +42,19 @@ fn main() {
         "Week profile",
         "hourly cluster power / active servers / migrations under IPAC",
     );
+    reporter.info(&format!(
+        "{n_vms} VMs over {:.1} day(s) @ {:.0} s samples (seed {seed})",
+        trace_cfg.n_samples as f64 * trace_cfg.interval_s / 86400.0,
+        trace_cfg.interval_s
+    ));
     let trace = generate_trace(&trace_cfg);
-    let (result, series) =
-        run_large_scale_with_series(&trace, &LargeScaleConfig::new(n_vms, OptimizerKind::Ipac))
-            .expect("run failed");
+    let telemetry = Telemetry::enabled();
+    let (result, series) = run_large_scale_with_series(
+        &trace,
+        &LargeScaleConfig::new(n_vms, OptimizerKind::Ipac),
+        &telemetry,
+    )
+    .expect("run failed");
 
     rule(76);
     println!(
@@ -72,4 +89,8 @@ fn main() {
         100.0 * result.sla_violation_fraction,
         result.wake_energy_wh
     );
+    match write_metrics(&telemetry, "week_profile", "results") {
+        Ok(path) => println!("metrics -> {path}"),
+        Err(e) => reporter.warn(&format!("could not write metrics: {e}")),
+    }
 }

@@ -170,7 +170,9 @@ impl BenchHarness {
             .and_then(|()| std::fs::write(&path, doc + "\n"))
         {
             Ok(()) => println!("{} benchmarks -> {path}", self.records.len()),
-            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+            Err(e) => {
+                vdc_telemetry::Reporter::default().warn(&format!("could not write {path}: {e}"))
+            }
         }
     }
 }

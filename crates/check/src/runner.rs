@@ -49,11 +49,10 @@ impl Config {
 }
 
 fn mix(seed: u64, case: u64) -> u64 {
-    // One SplitMix64-style avalanche so per-case streams are unrelated.
-    let mut z = seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    // The workspace seed-stream helper: per-case streams are unrelated,
+    // and the derivation matches what it produced before unification, so
+    // recorded failing seeds replay the same cases.
+    vdc_apptier::rng::seed_stream(seed, case)
 }
 
 /// Run `prop` over `cfg.cases` inputs from `gen`; panic on the first

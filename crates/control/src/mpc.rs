@@ -37,6 +37,7 @@ use crate::arx::ArxModel;
 use crate::reference::ReferenceTrajectory;
 use crate::{ControlError, Result};
 use vdc_linalg::{lstsq_eq, BoxQp, Matrix, QpError, Vector};
+use vdc_telemetry::Telemetry;
 
 /// Weight of the terminal-constraint penalty relative to `Q` when the
 /// box-QP fallback path is taken.
@@ -186,6 +187,8 @@ pub struct MpcController {
     /// `crate::observer` (use `DisturbanceKalman::new(..).gain()` to derive
     /// it from noise variances).
     disturbance_gain: f64,
+    /// Observability sink (disabled by default; see [`MpcController::set_telemetry`]).
+    telemetry: Telemetry,
 }
 
 impl MpcController {
@@ -216,6 +219,7 @@ impl MpcController {
             c_current,
             disturbance: 0.0,
             disturbance_gain: 1.0,
+            telemetry: Telemetry::disabled(),
         })
     }
 
@@ -277,6 +281,23 @@ impl MpcController {
         self.disturbance_gain = gain.clamp(1e-6, 1.0);
     }
 
+    /// Attach a telemetry sink. Each [`step`](MpcController::step) then
+    /// records the predictor-assembly vs QP-solve phase split
+    /// (`mpc.predict_ns` / `mpc.solve_ns`), fallback counters, and
+    /// [`update_model`](MpcController::update_model) the dynamic-matrix
+    /// rebuild cost (`mpc.predictor_rebuild_ns`). Telemetry only observes —
+    /// it never alters the computed control law.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry sink (disabled unless
+    /// [`set_telemetry`](MpcController::set_telemetry) was called). Lets
+    /// wrappers that rebuild the controller carry the sink over.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Replace the model (e.g. after an RLS update) and rebuild the
     /// dynamic matrix. Histories are preserved where possible.
     pub fn update_model(&mut self, model: ArxModel) -> Result<()> {
@@ -285,11 +306,14 @@ impl MpcController {
                 "replacement model has different input count".into(),
             ));
         }
+        let rebuild_span = self.telemetry.timer("mpc.predictor_rebuild_ns");
         self.psi = build_dynamic_matrix(
             &model,
             self.cfg.prediction_horizon,
             self.cfg.control_horizon,
         )?;
+        rebuild_span.finish();
+        self.telemetry.incr("mpc.model_rebuilds", 1);
         while self.c_hist.len() < model.nb() {
             self.c_hist.push(
                 self.c_hist
@@ -343,9 +367,13 @@ impl MpcController {
             });
         }
 
+        self.telemetry.incr("mpc.steps", 1);
         let p = self.cfg.prediction_horizon;
         let mm = self.cfg.control_horizon;
         let n_dec = mm * m;
+
+        // Predictor phase: free response plus stacked-objective assembly.
+        let predict_span = self.telemetry.timer("mpc.predict_ns");
 
         // Free response: future outputs if allocations stay at c_current.
         let free = self.free_response(p)?;
@@ -373,7 +401,11 @@ impl MpcController {
         // Terminal constraint (eq. (4)): t(k+M|k) = Ts.
         let terminal_row = self.psi.block(mm - 1, 0, 1, n_dec);
         let terminal_rhs = self.cfg.setpoint - free[mm - 1];
+        predict_span.finish();
 
+        // Solve phase: KKT least squares, then the Hildreth box-QP fallback
+        // if the first move leaves the allocation box.
+        let solve_span = self.telemetry.timer("mpc.solve_ns");
         let mut saturated = false;
         let delta_all = if self.cfg.terminal_constraint {
             match lstsq_eq(
@@ -386,6 +418,7 @@ impl MpcController {
                 Err(_) => {
                     // Singular KKT (e.g. terminal row ~ 0): fall back to the
                     // unconstrained least-squares solution.
+                    self.telemetry.incr("mpc.kkt_singular", 1);
                     vdc_linalg::lstsq(&a, &a_rhs)?
                 }
             }
@@ -402,8 +435,10 @@ impl MpcController {
             delta_all
         } else {
             saturated = true;
+            self.telemetry.incr("mpc.qp_fallbacks", 1);
             self.solve_box_qp(&a, &a_rhs, &terminal_row, terminal_rhs, &lo, &hi)?
         };
+        solve_span.finish();
 
         // Apply the first move (receding horizon).
         let mut delta: Vec<f64> = (0..m).map(|ch| delta_all[ch]).collect();

@@ -164,6 +164,12 @@ impl ResponseTimeController {
         self.metric = metric;
     }
 
+    /// Attach a telemetry sink to the underlying MPC (phase-split timings
+    /// and solver-fallback counters; see [`MpcController::set_telemetry`]).
+    pub fn set_telemetry(&mut self, telemetry: vdc_telemetry::Telemetry) {
+        self.mpc.set_telemetry(telemetry);
+    }
+
     /// The regulated SLA statistic.
     pub fn metric(&self) -> SlaMetric {
         self.metric
@@ -178,7 +184,8 @@ impl ResponseTimeController {
         cfg.c_min = vec![c_min; n];
         cfg.c_max = vec![c_max; n];
         let c0 = self.mpc.current_allocation().to_vec();
-        if let Ok(mpc) = MpcController::new(model, cfg, &c0) {
+        if let Ok(mut mpc) = MpcController::new(model, cfg, &c0) {
+            mpc.set_telemetry(self.mpc.telemetry().clone());
             self.mpc = mpc;
         }
     }
@@ -264,7 +271,8 @@ impl ResponseTimeController {
         // event (the old dynamics are stale anyway).
         let model = self.mpc.model().clone();
         let cfg = self.mpc.config().clone();
-        if let Ok(mpc) = MpcController::new(model, cfg, alloc) {
+        if let Ok(mut mpc) = MpcController::new(model, cfg, alloc) {
+            mpc.set_telemetry(self.mpc.telemetry().clone());
             self.mpc = mpc;
         }
     }

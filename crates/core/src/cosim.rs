@@ -19,13 +19,14 @@
 use crate::controller::{identify_plant, IdentificationConfig, ResponseTimeController};
 use crate::optimizer::{OptimizerConfig, PowerOptimizer};
 use crate::{CoreError, Result};
-use vdc_apptier::rng::SimRng;
+use vdc_apptier::rng::{seed_stream, SimRng};
 use vdc_apptier::{AnalyticPlant, Plant, WorkloadProfile};
 use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::item::PackItem;
 use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
 use vdc_consolidate::view::{apply_plan, snapshot};
 use vdc_dcsim::{DataCenter, Server, ServerSpec, VmId, VmSpec};
+use vdc_telemetry::Telemetry;
 use vdc_trace::UtilizationTrace;
 
 /// Configuration of a co-simulation run.
@@ -104,6 +105,20 @@ struct App {
 /// trace's diurnal/weekly structure while their CPU demands emerge from
 /// feedback control rather than being replayed.
 pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimResult> {
+    run_cosim_with_telemetry(trace, cfg, &Telemetry::disabled())
+}
+
+/// [`run_cosim`] with an observability sink attached: per-app SLO
+/// accounting against `cfg.setpoint_ms`, MPC phase-split timings, optimizer
+/// invocation stats, per-server power samples, per-sample step cost, and
+/// DVFS/wake/sleep transition counts. Telemetry only observes — a run with
+/// an enabled sink produces bit-identical results to [`run_cosim`]
+/// (enforced by `tests/determinism.rs`).
+pub fn run_cosim_with_telemetry(
+    trace: &UtilizationTrace,
+    cfg: &CosimConfig,
+    telemetry: &Telemetry,
+) -> Result<CosimResult> {
     if cfg.n_apps == 0 || cfg.n_apps > trace.n_vms() {
         return Err(CoreError::BadConfig(format!(
             "n_apps {} outside trace size {}",
@@ -179,10 +194,11 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
             max_clients / 2,
             &c0,
             0.45,
-            cfg.seed.wrapping_add(101 * a as u64),
+            seed_stream(cfg.seed, a as u64),
         )?;
-        let controller =
+        let mut controller =
             ResponseTimeController::new(model.clone(), cfg.setpoint_ms, period_s, &c0)?;
+        controller.set_telemetry(telemetry.clone());
         let ids = [VmId((2 * a) as u64), VmId((2 * a + 1) as u64)];
         for (tier, &vm) in ids.iter().enumerate() {
             dc.add_vm(VmSpec::for_app(
@@ -205,6 +221,7 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
 
     // Initial placement.
     let mut optimizer = PowerOptimizer::new(OptimizerConfig::ipac_default());
+    optimizer.set_telemetry(telemetry.clone());
     optimizer.optimize(&mut dc, &initial_items)?;
 
     let constraint = AndConstraint::cpu_and_memory();
@@ -219,6 +236,8 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
     let mut response_series_ms = Vec::with_capacity(trace.n_samples());
 
     for t in 0..trace.n_samples() {
+        let sample_span = telemetry.timer("cosim.sample_ns");
+
         // 1. Workload: concurrency follows the trace's shape.
         for (a, app) in apps.iter_mut().enumerate() {
             let u = trace.utilization(a, t);
@@ -229,7 +248,7 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
         // 2. Application-level control (or static hold).
         let mut sample_ms_sum = 0.0;
         let mut sample_ms_count = 0usize;
-        for app in apps.iter_mut() {
+        for (a, app) in apps.iter_mut().enumerate() {
             for _ in 0..cfg.control_periods_per_sample {
                 let measured = if cfg.controllers_enabled {
                     app.controller.control_period(&mut app.plant)?
@@ -246,6 +265,7 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
                     }
                 };
                 if let Some(ms) = measured {
+                    telemetry.slo_observe(a as u32, cfg.setpoint_ms, ms, period_s);
                     err_sum += (ms - cfg.setpoint_ms).abs();
                     err_count += 1;
                     sample_ms_sum += ms;
@@ -253,6 +273,8 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
                     if ms > 1.5 * cfg.setpoint_ms {
                         violations += 1;
                     }
+                } else {
+                    telemetry.incr("cosim.starved_periods", 1);
                 }
             }
         }
@@ -278,6 +300,7 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
             if !outcome.plan.is_empty() {
                 let stats = apply_plan(&mut dc, &outcome.plan)?;
                 relief_migrations += stats.migrations as u64;
+                telemetry.incr("cosim.relief_migrations", stats.migrations as u64);
             }
         }
         dc.apply_dvfs(true)?;
@@ -285,10 +308,12 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
         // 5. Energy of active servers over this sample.
         let active = dc.active_servers();
         active_sum += active.len();
-        let watts: f64 = active
-            .iter()
-            .map(|&s| dc.server_power_watts(s).expect("index in range"))
-            .sum();
+        let mut watts = 0.0;
+        for &s in &active {
+            let w = dc.server_power_watts(s).expect("index in range");
+            telemetry.record("dcsim.server_power_w", w);
+            watts += w;
+        }
         total_energy += watts * trace.interval_s() / 3600.0;
         power_series_w.push(watts);
         response_series_ms.push(if sample_ms_count > 0 {
@@ -296,8 +321,26 @@ pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimRes
         } else {
             -1.0
         });
+        telemetry.incr("cosim.samples", 1);
+        sample_span.finish();
     }
     total_energy += dc.wake_energy_wh();
+
+    // Run-level roll-up: DVFS / sleep-state transition counts from the
+    // arbitrator and the integrated energy of the horizon.
+    telemetry.incr("dcsim.dvfs_transitions", dc.dvfs_transitions());
+    telemetry.incr("dcsim.wake_transitions", dc.wake_count());
+    telemetry.incr("dcsim.sleep_transitions", dc.sleep_count());
+    telemetry.gauge_set("dcsim.wake_energy_wh", dc.wake_energy_wh());
+    telemetry.gauge_set("cosim.total_energy_wh", total_energy);
+    telemetry.gauge_set(
+        "cosim.mean_active_servers",
+        active_sum as f64 / trace.n_samples() as f64,
+    );
+    telemetry.incr(
+        "cosim.migrations",
+        optimizer.total_migrations() + relief_migrations,
+    );
 
     Ok(CosimResult {
         n_apps: cfg.n_apps,

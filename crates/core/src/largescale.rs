@@ -15,6 +15,7 @@ use vdc_consolidate::item::PackItem;
 use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
 use vdc_consolidate::view::{apply_plan, snapshot};
 use vdc_dcsim::{DataCenter, Server, ServerSpec, VmId, VmSpec};
+use vdc_telemetry::Telemetry;
 use vdc_trace::UtilizationTrace;
 
 /// Which optimizer drives the large-scale run.
@@ -151,24 +152,39 @@ pub fn run_large_scale(
     trace: &UtilizationTrace,
     cfg: &LargeScaleConfig,
 ) -> Result<LargeScaleResult> {
-    run_large_scale_impl(trace, cfg, None)
+    run_large_scale_impl(trace, cfg, None, &Telemetry::disabled())
 }
 
 /// Like [`run_large_scale`], additionally returning the per-sample time
 /// series (power, active servers, migration progress) for profile plots.
+/// Pass [`Telemetry::disabled`] when no metrics sink is wanted.
 pub fn run_large_scale_with_series(
     trace: &UtilizationTrace,
     cfg: &LargeScaleConfig,
+    telemetry: &Telemetry,
 ) -> Result<(LargeScaleResult, Vec<WeekSample>)> {
     let mut series = Vec::with_capacity(trace.n_samples());
-    let result = run_large_scale_impl(trace, cfg, Some(&mut series))?;
+    let result = run_large_scale_impl(trace, cfg, Some(&mut series), telemetry)?;
     Ok((result, series))
+}
+
+/// [`run_large_scale`] with an observability sink: per-sample step cost
+/// (`largescale.sample_ns`), optimizer invocation stats, per-server power
+/// samples, and DVFS/wake/sleep transition counts. Telemetry only observes
+/// — results are bit-identical to the uninstrumented run.
+pub fn run_large_scale_with_telemetry(
+    trace: &UtilizationTrace,
+    cfg: &LargeScaleConfig,
+    telemetry: &Telemetry,
+) -> Result<LargeScaleResult> {
+    run_large_scale_impl(trace, cfg, None, telemetry)
 }
 
 fn run_large_scale_impl(
     trace: &UtilizationTrace,
     cfg: &LargeScaleConfig,
     mut series: Option<&mut Vec<WeekSample>>,
+    telemetry: &Telemetry,
 ) -> Result<LargeScaleResult> {
     if cfg.n_vms == 0 || cfg.n_vms > trace.n_vms() {
         return Err(CoreError::BadConfig(format!(
@@ -206,6 +222,7 @@ fn run_large_scale_impl(
         OptimizerKind::Ipac | OptimizerKind::IpacNoDvfs | OptimizerKind::Pmapper
     ));
     let _ = Algorithm::Ipac; // (re-exported for callers)
+    optimizer.set_telemetry(telemetry.clone());
 
     // Initial placement.
     optimizer.optimize(&mut dc, &initial_items)?;
@@ -219,6 +236,7 @@ fn run_large_scale_impl(
     let relief_constraint = AndConstraint::cpu_and_memory();
     let relief_cfg = ReliefConfig::default();
     for t in 0..trace.n_samples() {
+        let sample_span = telemetry.timer("largescale.sample_ns");
         // Update demands from the trace.
         for vm in 0..cfg.n_vms {
             dc.set_vm_demand(VmId(vm as u64), trace.demand_ghz(vm, t))?;
@@ -232,6 +250,7 @@ fn run_large_scale_impl(
             if !outcome.plan.is_empty() {
                 let stats = apply_plan(&mut dc, &outcome.plan)?;
                 relief_migrations += stats.migrations as u64;
+                telemetry.incr("largescale.relief_migrations", stats.migrations as u64);
             }
         }
         // Short-period DVFS (or pin active servers at max frequency).
@@ -248,7 +267,9 @@ fn run_large_scale_impl(
         // if necessary"), not suspended, so it draws nothing.
         let mut watts = 0.0_f64;
         for &s in &active {
-            watts += dc.server_power_watts(s)?;
+            let w = dc.server_power_watts(s)?;
+            telemetry.record("dcsim.server_power_w", w);
+            watts += w;
             // SLA proxy: demand beyond maximum capacity goes unserved.
             let demand = dc.server_demand_ghz(s)?;
             let cap = dc.server(s)?.spec.max_capacity_ghz();
@@ -256,6 +277,7 @@ fn run_large_scale_impl(
             demand_unmet += (demand - cap).max(0.0);
         }
         total += watts * trace.interval_s() / 3600.0;
+        telemetry.incr("largescale.samples", 1);
         if let Some(sink) = series.as_deref_mut() {
             let mut sample_demand = 0.0;
             let mut sample_unmet = 0.0;
@@ -276,11 +298,24 @@ fn run_large_scale_impl(
                 },
             });
         }
+        sample_span.finish();
     }
     let wake_energy_wh = dc.wake_energy_wh();
     if cfg.count_wake_energy {
         total += wake_energy_wh;
     }
+
+    // Run-level roll-up of arbitrator transitions and integrated energy.
+    telemetry.incr("dcsim.dvfs_transitions", dc.dvfs_transitions());
+    telemetry.incr("dcsim.wake_transitions", dc.wake_count());
+    telemetry.incr("dcsim.sleep_transitions", dc.sleep_count());
+    telemetry.gauge_set("dcsim.wake_energy_wh", wake_energy_wh);
+    telemetry.gauge_set("largescale.total_energy_wh", total);
+    telemetry.gauge_set("largescale.energy_per_vm_wh", total / cfg.n_vms as f64);
+    telemetry.incr(
+        "largescale.migrations",
+        optimizer.total_migrations() + relief_migrations,
+    );
     Ok(LargeScaleResult {
         n_vms: cfg.n_vms,
         total_energy_wh: total,

@@ -14,6 +14,7 @@ use vdc_consolidate::pmapper::pmapper_plan;
 use vdc_consolidate::policy::{AlwaysAllow, MigrationPolicy};
 use vdc_consolidate::view::{apply_plan, snapshot, ApplyStats};
 use vdc_dcsim::DataCenter;
+use vdc_telemetry::Telemetry;
 
 /// Which consolidation algorithm the optimizer runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +65,7 @@ pub struct PowerOptimizer {
     cfg: OptimizerConfig,
     invocations: u64,
     total_migrations: u64,
+    telemetry: Telemetry,
 }
 
 impl PowerOptimizer {
@@ -73,7 +75,16 @@ impl PowerOptimizer {
             cfg,
             invocations: 0,
             total_migrations: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink. Each invocation then records its planning
+    /// cost (`optimizer.invocation_ns`), migrations proposed vs applied,
+    /// sleep/wake decisions, and the post-consolidation capacity slack
+    /// (`optimizer.slack_ghz`).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Number of invocations so far.
@@ -104,12 +115,40 @@ impl PowerOptimizer {
     /// One optimizer invocation: snapshot → plan → apply. `new_items` are
     /// VMs registered in the data center but not yet placed.
     pub fn optimize(&mut self, dc: &mut DataCenter, new_items: &[PackItem]) -> Result<ApplyStats> {
+        let span = self.telemetry.timer("optimizer.invocation_ns");
         let plan = self.plan(dc, new_items);
         let stats = apply_plan(dc, &plan)?;
+        span.finish();
         self.invocations += 1;
         self.total_migrations += stats.migrations as u64;
+        self.telemetry.incr("optimizer.invocations", 1);
+        self.telemetry
+            .incr("optimizer.migrations_proposed", plan.moves.len() as u64);
+        self.telemetry
+            .incr("optimizer.migrations_applied", stats.migrations as u64);
+        self.telemetry
+            .incr("optimizer.servers_slept", stats.slept as u64);
+        self.telemetry
+            .incr("optimizer.servers_woken", stats.woken as u64);
+        self.telemetry
+            .record("optimizer.migrated_mib", stats.migrated_mib);
+        self.telemetry
+            .gauge_set("optimizer.slack_ghz", active_slack_ghz(dc));
         Ok(stats)
     }
+}
+
+/// Spare CPU capacity across active servers (GHz): how much headroom the
+/// consolidated placement leaves before the next overload.
+fn active_slack_ghz(dc: &DataCenter) -> f64 {
+    dc.active_servers()
+        .into_iter()
+        .map(|s| {
+            let cap = dc.server(s).map(|sv| sv.capacity_ghz()).unwrap_or(0.0);
+            let demand = dc.server_demand_ghz(s).unwrap_or(0.0);
+            (cap - demand).max(0.0)
+        })
+        .sum()
 }
 
 #[cfg(test)]

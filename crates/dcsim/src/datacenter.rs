@@ -54,6 +54,9 @@ pub struct DataCenter {
     migrations: Vec<MigrationRecord>,
     wake_count: u64,
     sleep_count: u64,
+    /// DVFS frequency changes applied by the arbitrator (a server moving to
+    /// a different active frequency; wake/sleep transitions count separately).
+    freq_transitions: u64,
     /// Energy spent on wake transitions (a waking server burns roughly its
     /// static power for `wake_latency_s` before doing useful work).
     wake_energy_wh: f64,
@@ -75,6 +78,7 @@ impl DataCenter {
             migrations: Vec::new(),
             wake_count: 0,
             sleep_count: 0,
+            freq_transitions: 0,
             wake_energy_wh: 0.0,
         }
     }
@@ -322,6 +326,13 @@ impl DataCenter {
         self.sleep_count
     }
 
+    /// Number of DVFS frequency changes applied so far (excluding
+    /// wake/sleep transitions, which [`DataCenter::wake_count`] and
+    /// [`DataCenter::sleep_count`] track).
+    pub fn dvfs_transitions(&self) -> u64 {
+        self.freq_transitions
+    }
+
     /// Energy consumed by wake transitions so far (Wh): each wake burns the
     /// server's static power for its wake latency (S3 resume + readiness).
     pub fn wake_energy_wh(&self) -> f64 {
@@ -344,6 +355,9 @@ impl DataCenter {
             let f = self
                 .arbitrator
                 .choose_frequency(&self.servers[s].spec, demand);
+            if !matches!(self.servers[s].state, ServerState::Active { freq_ghz } if freq_ghz == f) {
+                self.freq_transitions += 1;
+            }
             self.servers[s].state = ServerState::Active { freq_ghz: f };
         }
         Ok(())

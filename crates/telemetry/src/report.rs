@@ -1,0 +1,140 @@
+//! Leveled, human-facing progress reporting.
+//!
+//! The workspace convention (see DESIGN.md §"Telemetry"): **stdout is
+//! reserved for machine-readable results** — figure tables, JSON paths,
+//! CSV — while narration ("running 25 of 96…", run parameters, warnings)
+//! goes through a [`Reporter`] to **stderr**, filtered by a verbosity
+//! level. `--quiet` silences narration entirely; `--verbose` adds debug
+//! detail; warnings always print.
+
+use std::io::Write;
+
+/// Verbosity of a [`Reporter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Warnings only.
+    Quiet,
+    /// Progress narration (the default).
+    Info,
+    /// Extra detail for debugging runs.
+    Debug,
+}
+
+/// Writes leveled narration to stderr.
+#[derive(Debug, Clone, Copy)]
+pub struct Reporter {
+    level: Level,
+}
+
+impl Default for Reporter {
+    fn default() -> Self {
+        Reporter::new(Level::Info)
+    }
+}
+
+impl Reporter {
+    /// Reporter at an explicit level.
+    pub fn new(level: Level) -> Reporter {
+        Reporter { level }
+    }
+
+    /// Reporter configured from command-line arguments: `--quiet`/`-q`
+    /// selects [`Level::Quiet`], `--verbose`/`-v` selects [`Level::Debug`]
+    /// (quiet wins when both are given), anything else [`Level::Info`].
+    pub fn from_args(args: &[String]) -> Reporter {
+        let has = |long: &str, short: &str| args.iter().any(|a| a == long || a == short);
+        let level = if has("--quiet", "-q") {
+            Level::Quiet
+        } else if has("--verbose", "-v") {
+            Level::Debug
+        } else {
+            Level::Info
+        };
+        Reporter::new(level)
+    }
+
+    /// The active verbosity level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// `true` when `level` messages would be emitted.
+    pub fn enabled(&self, level: Level) -> bool {
+        level <= self.level || level == Level::Quiet
+    }
+
+    fn emit(&self, prefix: &str, msg: &str) {
+        // A failed stderr write (closed pipe) must not kill the run.
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{prefix}{msg}");
+    }
+
+    /// Progress narration; silenced by `--quiet`.
+    pub fn info(&self, msg: &str) {
+        if self.level >= Level::Info {
+            self.emit("", msg);
+        }
+    }
+
+    /// Debug detail; emitted only with `--verbose`.
+    pub fn debug(&self, msg: &str) {
+        if self.level >= Level::Debug {
+            self.emit("debug: ", msg);
+        }
+    }
+
+    /// Warning; always emitted, at every level.
+    pub fn warn(&self, msg: &str) {
+        self.emit("warning: ", msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn level_from_flags() {
+        assert_eq!(Reporter::from_args(&args(&[])).level(), Level::Info);
+        assert_eq!(
+            Reporter::from_args(&args(&["--quiet"])).level(),
+            Level::Quiet
+        );
+        assert_eq!(Reporter::from_args(&args(&["-q"])).level(), Level::Quiet);
+        assert_eq!(
+            Reporter::from_args(&args(&["--verbose"])).level(),
+            Level::Debug
+        );
+        assert_eq!(Reporter::from_args(&args(&["-v"])).level(), Level::Debug);
+        // Quiet wins over verbose.
+        assert_eq!(
+            Reporter::from_args(&args(&["-v", "--quiet"])).level(),
+            Level::Quiet
+        );
+    }
+
+    #[test]
+    fn enabled_respects_ordering() {
+        let quiet = Reporter::new(Level::Quiet);
+        assert!(!quiet.enabled(Level::Info));
+        assert!(!quiet.enabled(Level::Debug));
+        let info = Reporter::new(Level::Info);
+        assert!(info.enabled(Level::Info));
+        assert!(!info.enabled(Level::Debug));
+        let debug = Reporter::new(Level::Debug);
+        assert!(debug.enabled(Level::Debug));
+    }
+
+    #[test]
+    fn emitting_does_not_panic() {
+        let r = Reporter::new(Level::Debug);
+        r.info("info line");
+        r.debug("debug line");
+        r.warn("warn line");
+        Reporter::new(Level::Quiet).info("silenced");
+    }
+}

@@ -1,0 +1,86 @@
+//! Lightweight timing spans over [`std::time::Instant`].
+//!
+//! A [`SpanTimer`] is a drop guard: it samples `Instant::now()` when
+//! created and records the elapsed nanoseconds into a histogram when
+//! dropped. The disabled path carries no clock read and no allocation —
+//! [`crate::Telemetry::timer`] on a disabled handle returns an inert guard
+//! whose drop is a no-op, so instrumentation left in hot loops costs a
+//! branch when telemetry is off.
+//!
+//! Wall-clock readings flow only *into* the registry, never back into the
+//! instrumented code, so spans cannot perturb simulation state or RNG
+//! streams (the `tests/determinism.rs` contract).
+
+use crate::registry::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Drop guard that records its lifetime (in nanoseconds) into a histogram.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding to `_` drops it immediately"]
+pub struct SpanTimer {
+    /// `None` when telemetry is disabled: drop is then a no-op.
+    armed: Option<(Instant, Arc<Histogram>)>,
+}
+
+impl SpanTimer {
+    /// An inert guard (used by disabled telemetry handles).
+    pub(crate) fn inert() -> SpanTimer {
+        SpanTimer { armed: None }
+    }
+
+    /// A live guard recording into `sink` on drop.
+    pub(crate) fn started(sink: Arc<Histogram>) -> SpanTimer {
+        SpanTimer {
+            armed: Some((Instant::now(), sink)),
+        }
+    }
+
+    /// Stop the span early, recording now instead of at scope end.
+    pub fn finish(mut self) {
+        self.record_elapsed();
+    }
+
+    fn record_elapsed(&mut self) {
+        if let Some((start, sink)) = self.armed.take() {
+            sink.record(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.record_elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_span_records_once() {
+        let h = Arc::new(Histogram::default());
+        {
+            let _t = SpanTimer::started(Arc::clone(&h));
+            std::hint::black_box(0u64);
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.min().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn finish_records_and_disarms() {
+        let h = Arc::new(Histogram::default());
+        let t = SpanTimer::started(Arc::clone(&h));
+        t.finish();
+        assert_eq!(h.count(), 1, "finish must record exactly once");
+    }
+
+    #[test]
+    fn inert_span_is_a_noop() {
+        let t = SpanTimer::inert();
+        t.finish(); // must not panic or record anywhere
+        let _ = SpanTimer::inert(); // drop path
+    }
+}

@@ -20,4 +20,5 @@ pub use vdc_control as control;
 pub use vdc_core as core;
 pub use vdc_dcsim as dcsim;
 pub use vdc_linalg as linalg;
+pub use vdc_telemetry as telemetry;
 pub use vdc_trace as trace;

@@ -11,6 +11,10 @@
 //!
 //! The figure-regeneration binaries live in `vdc-bench` (`cargo run -p
 //! vdc-bench --bin fig2 …`); this driver is for ad-hoc exploration.
+//!
+//! Every command accepts `--quiet`/`-q` (warnings only) and
+//! `--verbose`/`-v` (debug narration). Narration goes to stderr; stdout
+//! carries only results.
 
 use std::fs::File;
 use std::io::{BufReader, Write};
@@ -21,8 +25,10 @@ use vdcpower::control::analysis::{achievable_range, analyze_closed_loop};
 use vdcpower::control::{MpcConfig, ReferenceTrajectory};
 use vdcpower::core::controller::{identify_plant, IdentificationConfig};
 use vdcpower::core::experiments::MeanStd;
-use vdcpower::core::largescale::{run_large_scale, LargeScaleConfig, OptimizerKind};
+use vdcpower::core::largescale::{run_large_scale_with_telemetry, LargeScaleConfig, OptimizerKind};
 use vdcpower::core::testbed::{Testbed, TestbedConfig};
+use vdcpower::telemetry::export::write_metrics;
+use vdcpower::telemetry::{Reporter, Telemetry};
 use vdcpower::trace::{generate_trace, trace_stats, TraceConfig, UtilizationTrace};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -47,6 +53,7 @@ fn usage() -> ExitCode {
          \x20 largescale  replay a synthetic trace under a power optimizer\n\
          \x20 trace-gen   generate a synthetic utilization trace as CSV\n\
          \x20 trace-info  summarize a trace CSV\n\
+         global flags: --quiet/-q (warnings only), --verbose/-v (debug narration)\n\
          run `cargo run -p vdc-bench --bin fig2 --release` etc. for the paper figures"
     );
     ExitCode::FAILURE
@@ -54,20 +61,23 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let reporter = Reporter::from_args(&args);
     match args.first().map(String::as_str) {
-        Some("identify") => cmd_identify(&args),
-        Some("testbed") => cmd_testbed(&args),
-        Some("largescale") => cmd_largescale(&args),
-        Some("trace-gen") => cmd_trace_gen(&args),
+        Some("identify") => cmd_identify(&args, &reporter),
+        Some("testbed") => cmd_testbed(&args, &reporter),
+        Some("largescale") => cmd_largescale(&args, &reporter),
+        Some("trace-gen") => cmd_trace_gen(&args, &reporter),
         Some("trace-info") => cmd_trace_info(&args),
         _ => usage(),
     }
 }
 
-fn cmd_identify(args: &[String]) -> ExitCode {
+fn cmd_identify(args: &[String], reporter: &Reporter) -> ExitCode {
     let concurrency = arg_num(args, "--concurrency", 40usize);
     let seed = arg_num(args, "--seed", 42u64);
-    println!("identifying at concurrency {concurrency} (seed {seed})...");
+    reporter.info(&format!(
+        "identifying at concurrency {concurrency} (seed {seed})..."
+    ));
     let mut plant = match AppSim::new(WorkloadProfile::rubbos(), concurrency, &[1.0, 1.0], seed) {
         Ok(p) => p,
         Err(e) => {
@@ -131,7 +141,7 @@ fn cmd_identify(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_testbed(args: &[String]) -> ExitCode {
+fn cmd_testbed(args: &[String], reporter: &Reporter) -> ExitCode {
     let cfg = TestbedConfig {
         n_apps: arg_num(args, "--apps", 8usize),
         concurrency: arg_num(args, "--concurrency", 40usize),
@@ -140,10 +150,10 @@ fn cmd_testbed(args: &[String]) -> ExitCode {
         ..Default::default()
     };
     let periods = arg_num(args, "--periods", 200usize);
-    println!(
+    reporter.info(&format!(
         "testbed: {} apps @ concurrency {}, set point {} ms, {periods} periods",
         cfg.n_apps, cfg.concurrency, cfg.setpoint_ms
-    );
+    ));
     let mut tb = match Testbed::build(&cfg) {
         Ok(t) => t,
         Err(e) => {
@@ -179,7 +189,7 @@ fn cmd_testbed(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_largescale(args: &[String]) -> ExitCode {
+fn cmd_largescale(args: &[String], reporter: &Reporter) -> ExitCode {
     let n_vms = arg_num(args, "--vms", 500usize);
     let samples = arg_num(args, "--samples", 672usize);
     let seed = arg_num(args, "--seed", 5415u64);
@@ -192,14 +202,21 @@ fn cmd_largescale(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("largescale: {n_vms} VMs, {samples} samples @ 15 min, optimizer {optimizer:?}");
+    reporter.info(&format!(
+        "largescale: {n_vms} VMs, {samples} samples @ 15 min, optimizer {optimizer:?}"
+    ));
     let trace = generate_trace(&TraceConfig {
         n_vms,
         n_samples: samples,
         interval_s: 900.0,
         seed,
     });
-    match run_large_scale(&trace, &LargeScaleConfig::new(n_vms, optimizer)) {
+    let telemetry = Telemetry::enabled();
+    match run_large_scale_with_telemetry(
+        &trace,
+        &LargeScaleConfig::new(n_vms, optimizer),
+        &telemetry,
+    ) {
         Ok(r) => {
             println!("  energy per VM     {:.1} Wh", r.energy_per_vm_wh);
             println!("  total energy      {:.1} Wh", r.total_energy_wh);
@@ -216,6 +233,10 @@ fn cmd_largescale(args: &[String]) -> ExitCode {
                 100.0 * r.sla_violation_fraction
             );
             println!("  wake energy       {:.1} Wh", r.wake_energy_wh);
+            match write_metrics(&telemetry, "largescale", "results") {
+                Ok(path) => println!("  metrics -> {path}"),
+                Err(e) => reporter.warn(&format!("could not write metrics: {e}")),
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -225,7 +246,7 @@ fn cmd_largescale(args: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_trace_gen(args: &[String]) -> ExitCode {
+fn cmd_trace_gen(args: &[String], reporter: &Reporter) -> ExitCode {
     let n_vms = arg_num(args, "--vms", 100usize);
     let samples = arg_num(args, "--samples", 672usize);
     let seed = arg_num(args, "--seed", 1u64);
@@ -233,6 +254,9 @@ fn cmd_trace_gen(args: &[String]) -> ExitCode {
         eprintln!("trace-gen requires --out <file.csv>");
         return ExitCode::FAILURE;
     };
+    reporter.debug(&format!(
+        "generating {n_vms} VMs x {samples} samples (seed {seed})"
+    ));
     let trace = generate_trace(&TraceConfig {
         n_vms,
         n_samples: samples,

@@ -8,7 +8,8 @@
 //! iteration, thread interleaving, platform math differences inside one
 //! build) a hard failure.
 
-use vdc_core::cosim::{run_cosim, CosimConfig, CosimResult};
+use vdc_core::cosim::{run_cosim, run_cosim_with_telemetry, CosimConfig, CosimResult};
+use vdc_telemetry::Telemetry;
 use vdc_trace::{generate_trace, TraceConfig};
 
 fn small_run(seed: u64) -> CosimResult {
@@ -48,6 +49,57 @@ fn same_seed_runs_are_bit_identical() {
     );
     assert_eq!(a.total_energy_wh.to_bits(), b.total_energy_wh.to_bits());
     assert_eq!(a.migrations, b.migrations);
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    // The instrumented entry point must be an observer only: attaching an
+    // enabled sink may read clocks and fill the registry, but every f64 of
+    // the simulation output stays bit-identical to the plain run.
+    let plain = small_run(0xD5EED);
+    let trace = generate_trace(&TraceConfig {
+        n_vms: 12,
+        n_samples: 24,
+        interval_s: 900.0,
+        seed: 0xD5EED ^ 0x7ACE,
+    });
+    let cfg = CosimConfig {
+        n_apps: 6,
+        control_periods_per_sample: 2,
+        optimizer_period_samples: 8,
+        seed: 0xD5EED,
+        ..Default::default()
+    };
+    let telemetry = Telemetry::enabled();
+    let instrumented =
+        run_cosim_with_telemetry(&trace, &cfg, &telemetry).expect("instrumented run");
+    assert_eq!(
+        bits(&plain.power_series_w),
+        bits(&instrumented.power_series_w),
+        "telemetry perturbed the power trajectory"
+    );
+    assert_eq!(
+        bits(&plain.response_series_ms),
+        bits(&instrumented.response_series_ms),
+        "telemetry perturbed the response-time trajectory"
+    );
+    assert_eq!(
+        plain.total_energy_wh.to_bits(),
+        instrumented.total_energy_wh.to_bits()
+    );
+    assert_eq!(plain.migrations, instrumented.migrations);
+    // And the sink actually observed the run.
+    let counters = telemetry.counter_values();
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(get("cosim.samples"), 24);
+    assert!(get("mpc.steps") > 0, "MPC steps not recorded");
+    assert!(!telemetry.slo_snapshot().is_empty(), "no SLO accounting");
 }
 
 #[test]

@@ -1,0 +1,55 @@
+//! Telemetry-overhead smoke gate (run by `ci.sh`): a co-simulation step
+//! with an enabled metrics sink must stay within a generous budget of the
+//! no-op-sink run.
+//!
+//! The disabled handle is a `None` branch — no clock reads, no atomics —
+//! so the instrumented/uninstrumented ratio is the cost of the registry
+//! and `Instant` reads amortized over real simulation work. The budget is
+//! deliberately loose (shared CI runners, debug builds): the gate exists
+//! to catch pathological regressions (per-sample allocation storms,
+//! lock contention on the hot path), not to benchmark.
+
+use std::time::Instant;
+use vdc_core::cosim::{run_cosim_with_telemetry, CosimConfig};
+use vdc_telemetry::Telemetry;
+use vdc_trace::{generate_trace, TraceConfig};
+
+/// Instrumented runtime must stay under `BUDGET_RATIO` x the no-op run.
+const BUDGET_RATIO: f64 = 3.0;
+const REPEATS: usize = 3;
+
+fn timed_run(telemetry: &Telemetry) -> f64 {
+    let trace = generate_trace(&TraceConfig {
+        n_vms: 10,
+        n_samples: 16,
+        interval_s: 900.0,
+        seed: 0x0B5E,
+    });
+    let cfg = CosimConfig {
+        n_apps: 5,
+        control_periods_per_sample: 2,
+        optimizer_period_samples: 8,
+        seed: 0x0B5E,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    run_cosim_with_telemetry(&trace, &cfg, telemetry).expect("run");
+    t.elapsed().as_secs_f64()
+}
+
+#[test]
+fn instrumented_cosim_stays_within_overhead_budget() {
+    // Min-of-repeats on both sides filters scheduler noise.
+    let baseline = (0..REPEATS)
+        .map(|_| timed_run(&Telemetry::disabled()))
+        .fold(f64::INFINITY, f64::min);
+    let instrumented = (0..REPEATS)
+        .map(|_| timed_run(&Telemetry::enabled()))
+        .fold(f64::INFINITY, f64::min);
+    let ratio = instrumented / baseline.max(1e-9);
+    assert!(
+        ratio <= BUDGET_RATIO,
+        "telemetry overhead ratio {ratio:.2} exceeds budget {BUDGET_RATIO} \
+         (instrumented {instrumented:.3} s vs no-op {baseline:.3} s)"
+    );
+}
