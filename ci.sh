@@ -28,4 +28,10 @@ run cargo test -q --offline
 # ratio reflects real relative cost, not debug-build noise).
 run cargo test -q --release --offline --test telemetry_overhead
 
+# Shard-equivalence gate at both ends of the shard range: the sharded
+# replay/co-sim must be bit-identical to the single-threaded run whether
+# the env pins 1 worker or 8 (tests/sharding.rs reads VDC_SHARDS).
+run env VDC_SHARDS=1 cargo test -q --offline --test sharding
+run env VDC_SHARDS=8 cargo test -q --offline --test sharding
+
 echo "==> ci.sh: all gates passed"

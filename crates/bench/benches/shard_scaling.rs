@@ -1,0 +1,155 @@
+//! Shard-scaling trajectory for the week-replay workloads: wall-clock at
+//! shard counts 1/2/4/8 plus an Amdahl projection from the *measured*
+//! parallel fraction, emitted as `results/BENCH_shard_scaling.json`.
+//!
+//! Two numbers per shard count, both honest:
+//!
+//! * `speedup_measured` — wall-clock ratio vs the single-shard run **on
+//!   this host**. Bounded by `host_parallelism`; on a 1-core CI box it
+//!   stays ~1.0 by construction.
+//! * `speedup_projected` — Amdahl's law applied to the parallel fraction
+//!   measured from the telemetry span around the shardable region
+//!   (`cosim.control_ns` / `largescale.power_map_ns`): what the measured
+//!   split predicts for a host with at least `shards` idle cores.
+//!
+//! The JSON carries both plus the host parallelism, so a reader can never
+//! mistake a projection for a measurement.
+
+use std::time::Instant;
+use vdc_core::cosim::{run_cosim_with_telemetry, CosimConfig};
+use vdc_core::largescale::{run_large_scale_with_telemetry, LargeScaleConfig, OptimizerKind};
+use vdc_dcsim::json::{array, JsonObject};
+use vdc_telemetry::Telemetry;
+use vdc_trace::{generate_trace, TraceConfig, UtilizationTrace};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn week_trace(n_vms: usize, seed: u64) -> UtilizationTrace {
+    generate_trace(&TraceConfig {
+        n_vms,
+        n_samples: 672, // 7 days of 15-minute samples
+        interval_s: 900.0,
+        seed,
+    })
+}
+
+/// Total nanoseconds recorded under `span` (count × mean).
+fn span_total_ns(t: &Telemetry, span: &str) -> f64 {
+    t.histogram_summaries()
+        .into_iter()
+        .find(|h| h.name == span)
+        .map(|h| h.count as f64 * h.mean)
+        .unwrap_or(0.0)
+}
+
+struct Run {
+    shards: usize,
+    wall_ns: f64,
+    parallel_ns: f64,
+}
+
+/// Time one workload at every shard count; returns runs in shard order.
+fn sweep(workload: &str, span: &str, mut run: impl FnMut(usize, &Telemetry)) -> Vec<Run> {
+    SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let telemetry = Telemetry::enabled();
+            let t = Instant::now();
+            run(shards, &telemetry);
+            let wall_ns = t.elapsed().as_nanos() as f64;
+            let parallel_ns = span_total_ns(&telemetry, span);
+            println!(
+                "{workload:<18} shards={shards}  wall {:>8.2} ms  shardable {:>8.2} ms",
+                wall_ns / 1e6,
+                parallel_ns / 1e6,
+            );
+            Run {
+                shards,
+                wall_ns,
+                parallel_ns,
+            }
+        })
+        .collect()
+}
+
+/// Amdahl's law from the measured serial fraction of the baseline run.
+fn projected_speedup(serial_fraction: f64, shards: usize) -> f64 {
+    1.0 / (serial_fraction + (1.0 - serial_fraction) / shards as f64)
+}
+
+fn rows(workload: &str, runs: &[Run], host: usize) -> Vec<String> {
+    let base = &runs[0];
+    // Parallel fraction of the single-shard run: the span around the
+    // shardable region over total wall time.
+    let parallel_fraction = (base.parallel_ns / base.wall_ns).clamp(0.0, 1.0);
+    let serial_fraction = 1.0 - parallel_fraction;
+    runs.iter()
+        .map(|r| {
+            JsonObject::new()
+                .str("workload", workload)
+                .int("shards", r.shards as i64)
+                .int("host_parallelism", host as i64)
+                .num("wall_ns", r.wall_ns)
+                .num("speedup_measured", base.wall_ns / r.wall_ns)
+                .num("parallel_fraction", parallel_fraction)
+                .num(
+                    "speedup_projected",
+                    projected_speedup(serial_fraction, r.shards),
+                )
+                .build()
+        })
+        .collect()
+}
+
+fn main() {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("shard_scaling on {host} host core(s)");
+
+    // Week-replay co-simulation: MPC-dominated, the near-linear workload.
+    let cosim_trace = week_trace(16, 0x5CA1E);
+    let cosim_runs = sweep("cosim_week", "cosim.control_ns", |shards, telemetry| {
+        let cfg = CosimConfig {
+            n_apps: 16,
+            control_periods_per_sample: 2,
+            seed: 0x5CA1E,
+            shards,
+            ..Default::default()
+        };
+        run_cosim_with_telemetry(&cosim_trace, &cfg, telemetry).expect("cosim week replay");
+    });
+
+    // Week replay of the trace-driven large-scale simulation (Fig. 6
+    // machinery): BTreeMap-walk bound, with a sequential optimizer barrier.
+    let ls_trace = week_trace(600, 0x1EE7);
+    let ls_runs = sweep(
+        "largescale_week",
+        "largescale.power_map_ns",
+        |shards, telemetry| {
+            let mut cfg = LargeScaleConfig::new(600, OptimizerKind::Ipac);
+            cfg.shards = shards;
+            run_large_scale_with_telemetry(&ls_trace, &cfg, telemetry).expect("week replay");
+        },
+    );
+
+    let mut all = rows("cosim_week", &cosim_runs, host);
+    all.extend(rows("largescale_week", &ls_runs, host));
+    let doc = JsonObject::new()
+        .str("bench", "shard_scaling")
+        .int("host_parallelism", host as i64)
+        .str(
+            "note",
+            "speedup_measured is wall-clock on this host (bounded by \
+             host_parallelism); speedup_projected is Amdahl's law from the \
+             measured parallel fraction of the shards=1 run",
+        )
+        .raw("results", &array(&all))
+        .build();
+    let out_dir = std::env::var("VDC_BENCH_OUT_DIR").unwrap_or_else(|_| "results".to_string());
+    let path = format!("{out_dir}/BENCH_shard_scaling.json");
+    match std::fs::create_dir_all(&out_dir).and_then(|()| std::fs::write(&path, doc + "\n")) {
+        Ok(()) => println!("shard scaling trajectory -> {path}"),
+        Err(e) => vdc_telemetry::Reporter::default().warn(&format!("could not write {path}: {e}")),
+    }
+}

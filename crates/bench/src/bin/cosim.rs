@@ -9,8 +9,11 @@
 //!
 //! ```text
 //! cargo run -p vdc-bench --bin cosim --release [--apps 100] [--days 7] [--quick]
-//!     [--quiet|-q] [--verbose|-v]
+//!     [--shards N] [--quiet|-q] [--verbose|-v]
 //! ```
+//!
+//! `--shards N` fans the per-sample control loop over N worker threads
+//! (default: host parallelism; output is bit-identical for every N).
 //!
 //! The dynamic run is instrumented: `results/METRICS_cosim.json` / `.tsv`
 //! capture MPC phase timings, DVFS transition counts, and per-app SLO
@@ -29,6 +32,7 @@ fn main() {
     let n_apps = arg_num(&args, "--apps", if quick { 30 } else { 100 });
     let days = arg_num(&args, "--days", if quick { 1 } else { 7 });
     let seed = arg_num(&args, "--seed", 0xC051u64);
+    let shards = arg_num(&args, "--shards", 0usize); // 0 = host parallelism
 
     figure_header(
         "Co-simulation",
@@ -48,6 +52,7 @@ fn main() {
     let base = CosimConfig {
         n_apps,
         seed,
+        shards,
         ..Default::default()
     };
     let telemetry = Telemetry::enabled();

@@ -7,10 +7,14 @@
 //!
 //! ```text
 //! cargo run -p vdc-bench --bin fig6 --release [--full | --quick] [--seed 5415]
+//!     [--shards N]
 //! ```
+//!
+//! `--shards N` spreads the swept data-center sizes over N worker threads
+//! (default: host parallelism; output is bit-identical for every N).
 
 use vdc_bench::{arg_num, arg_present, figure_header, rule};
-use vdc_core::experiments::fig6;
+use vdc_core::experiments::fig6_sharded;
 use vdc_trace::{generate_trace, TraceConfig};
 
 fn main() {
@@ -18,6 +22,7 @@ fn main() {
     let seed = arg_num(&args, "--seed", 5415u64);
     let quick = arg_present(&args, "--quick");
     let full = arg_present(&args, "--full");
+    let shards = arg_num(&args, "--shards", 0usize); // 0 = host parallelism
 
     let trace_cfg = if quick {
         TraceConfig {
@@ -53,7 +58,7 @@ fn main() {
         sizes.len()
     );
     let trace = generate_trace(&trace_cfg);
-    let points = fig6(&trace, &sizes).expect("fig6 failed");
+    let points = fig6_sharded(&trace, &sizes, shards).expect("fig6 failed");
 
     rule(104);
     println!(

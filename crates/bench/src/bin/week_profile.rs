@@ -5,8 +5,11 @@
 //!
 //! ```text
 //! cargo run -p vdc-bench --bin week_profile --release [--vms 1030] [--quick]
-//!     [--quiet|-q] [--verbose|-v]
+//!     [--shards N] [--quiet|-q] [--verbose|-v]
 //! ```
+//!
+//! `--shards N` fans the per-server map stages over N worker threads
+//! (default: host parallelism; output is bit-identical for every N).
 //!
 //! The run is instrumented: `results/METRICS_week_profile.json` / `.tsv`
 //! capture per-sample step cost, optimizer invocation stats, and DVFS
@@ -24,6 +27,7 @@ fn main() {
     let quick = arg_present(&args, "--quick");
     let n_vms = arg_num(&args, "--vms", if quick { 200 } else { 1030 });
     let seed = arg_num(&args, "--seed", 5415u64);
+    let shards = arg_num(&args, "--shards", 0usize); // 0 = host parallelism
 
     let trace_cfg = if quick {
         TraceConfig {
@@ -49,12 +53,10 @@ fn main() {
     ));
     let trace = generate_trace(&trace_cfg);
     let telemetry = Telemetry::enabled();
-    let (result, series) = run_large_scale_with_series(
-        &trace,
-        &LargeScaleConfig::new(n_vms, OptimizerKind::Ipac),
-        &telemetry,
-    )
-    .expect("run failed");
+    let mut cfg = LargeScaleConfig::new(n_vms, OptimizerKind::Ipac);
+    cfg.shards = shards;
+    let (result, series) =
+        run_large_scale_with_series(&trace, &cfg, &telemetry).expect("run failed");
 
     rule(76);
     println!(

@@ -278,6 +278,15 @@ impl ResponseTimeController {
     }
 }
 
+// The sharded co-sim ships each application's controller to a scoped
+// worker thread (`crate::shard::map_slice_mut`), so the controller must
+// stay `Send` — enforced here at compile time rather than discovered as a
+// cryptic trait error at the spawn site if someone adds an `Rc`/`RefCell`.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ResponseTimeController>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,7 +24,7 @@ use vdc_apptier::{AnalyticPlant, Plant, WorkloadProfile};
 use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::item::PackItem;
 use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
-use vdc_consolidate::view::{apply_plan, snapshot};
+use vdc_consolidate::view::apply_plan;
 use vdc_dcsim::{DataCenter, Server, ServerSpec, VmId, VmSpec};
 use vdc_telemetry::Telemetry;
 use vdc_trace::UtilizationTrace;
@@ -45,6 +45,12 @@ pub struct CosimConfig {
     pub optimizer_period_samples: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker shards for the per-sample control loop (`0` = host
+    /// parallelism). Applications are partitioned into contiguous shards;
+    /// results are bit-identical for every shard count because each app
+    /// owns its plant, controller, and `seed_stream`-derived RNG stream,
+    /// and all cross-app reductions stay sequential in app order.
+    pub shards: usize,
 }
 
 impl Default for CosimConfig {
@@ -56,6 +62,7 @@ impl Default for CosimConfig {
             controllers_enabled: true,
             optimizer_period_samples: 16,
             seed: 0xC051,
+            shards: 1,
         }
     }
 }
@@ -85,6 +92,9 @@ pub struct CosimResult {
     /// Mean measured SLA metric at each trace sample (ms); samples with no
     /// completed measurements record `-1.0`.
     pub response_series_ms: Vec<f64>,
+    /// Final VM placement `(vm id, server index)`, sorted by VM id — part
+    /// of the shard-equivalence contract (`tests/sharding.rs`).
+    pub final_placements: Vec<(u64, usize)>,
 }
 
 /// One controlled application in the co-simulation.
@@ -96,6 +106,31 @@ struct App {
     /// Client population cap (peak concurrency).
     max_clients: usize,
     vm_ids: [VmId; 2],
+}
+
+/// Advance one application through every control period of one trace
+/// sample, returning the per-period measurements. This is the shard worker
+/// body: it touches only the application's own plant and controller, so a
+/// worker needs no view of any other shard.
+fn app_sample_periods(app: &mut App, cfg: &CosimConfig, period_s: f64) -> Result<Vec<Option<f64>>> {
+    let mut measured = Vec::with_capacity(cfg.control_periods_per_sample);
+    for _ in 0..cfg.control_periods_per_sample {
+        let m = if cfg.controllers_enabled {
+            app.controller.control_period(&mut app.plant)?
+        } else {
+            app.plant.set_allocations(&app.static_alloc)?;
+            app.plant.run_for(period_s);
+            let stats =
+                vdc_apptier::monitor::ResponseStats::from_samples(app.plant.take_completed());
+            if stats.is_empty() {
+                None
+            } else {
+                Some(stats.p90() * 1000.0)
+            }
+        };
+        measured.push(m);
+    }
+    Ok(measured)
 }
 
 /// Run the co-simulation over (the first `n_apps` rows of) a trace.
@@ -131,6 +166,7 @@ pub fn run_cosim_with_telemetry(
             "control and optimizer periods must be positive".into(),
         ));
     }
+    let shards = crate::shard::resolve(cfg.shards);
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let profile = WorkloadProfile::rubbos();
     let period_s = 900.0 / cfg.control_periods_per_sample as f64;
@@ -245,25 +281,22 @@ pub fn run_cosim_with_telemetry(
             app.plant.set_concurrency(clients);
         }
 
-        // 2. Application-level control (or static hold).
+        // 2. Application-level control (or static hold), fanned out over
+        //    shards. Each worker advances a contiguous chunk of apps; the
+        //    SLO accounting below folds the returned measurements
+        //    sequentially in (app, period) order, exactly as the
+        //    single-threaded loop did — so the shard count cannot perturb
+        //    any f64 of the result.
+        let control_span = telemetry.timer("cosim.control_ns");
+        let per_app: Vec<Result<Vec<Option<f64>>>> =
+            crate::shard::map_slice_mut(&mut apps, shards, |_, app| {
+                app_sample_periods(app, cfg, period_s)
+            });
+        control_span.finish();
         let mut sample_ms_sum = 0.0;
         let mut sample_ms_count = 0usize;
-        for (a, app) in apps.iter_mut().enumerate() {
-            for _ in 0..cfg.control_periods_per_sample {
-                let measured = if cfg.controllers_enabled {
-                    app.controller.control_period(&mut app.plant)?
-                } else {
-                    app.plant.set_allocations(&app.static_alloc)?;
-                    app.plant.run_for(period_s);
-                    let stats = vdc_apptier::monitor::ResponseStats::from_samples(
-                        app.plant.take_completed(),
-                    );
-                    if stats.is_empty() {
-                        None
-                    } else {
-                        Some(stats.p90() * 1000.0)
-                    }
-                };
+        for (a, measurements) in per_app.into_iter().enumerate() {
+            for measured in measurements? {
                 if let Some(ms) = measured {
                     telemetry.slo_observe(a as u32, cfg.setpoint_ms, ms, period_s);
                     err_sum += (ms - cfg.setpoint_ms).abs();
@@ -296,7 +329,8 @@ pub fn run_cosim_with_telemetry(
         if t > 0 && t % cfg.optimizer_period_samples == 0 {
             optimizer.optimize(&mut dc, &[])?;
         } else {
-            let outcome = relieve_overloads(&snapshot(&dc), &constraint, &relief_cfg);
+            let snap = crate::optimizer::snapshot_sharded(&dc, shards);
+            let outcome = relieve_overloads(&snap, &constraint, &relief_cfg);
             if !outcome.plan.is_empty() {
                 let stats = apply_plan(&mut dc, &outcome.plan)?;
                 relief_migrations += stats.migrations as u64;
@@ -342,6 +376,13 @@ pub fn run_cosim_with_telemetry(
         optimizer.total_migrations() + relief_migrations,
     );
 
+    let mut final_placements: Vec<(u64, usize)> = Vec::with_capacity(2 * cfg.n_apps);
+    for vm in 0..2 * cfg.n_apps as u64 {
+        if let Some(server) = dc.placement_of(VmId(vm)) {
+            final_placements.push((vm, server));
+        }
+    }
+
     Ok(CosimResult {
         n_apps: cfg.n_apps,
         total_energy_wh: total_energy,
@@ -360,6 +401,7 @@ pub fn run_cosim_with_telemetry(
         migrations: optimizer.total_migrations() + relief_migrations,
         power_series_w,
         response_series_ms,
+        final_placements,
     })
 }
 
@@ -438,6 +480,42 @@ mod tests {
         // The static baseline over-provisions, so it violates rarely too —
         // the win is energy, not SLA.
         assert!(stat.violation_fraction < 0.05);
+    }
+
+    #[test]
+    fn sharded_run_matches_single_threaded() {
+        let t = day_trace(8, 9);
+        let base = CosimConfig {
+            n_apps: 8,
+            control_periods_per_sample: 2,
+            optimizer_period_samples: 8,
+            ..Default::default()
+        };
+        let one = run_cosim(&t, &base).unwrap();
+        for shards in [2usize, 3, 8] {
+            let s = run_cosim(
+                &t,
+                &CosimConfig {
+                    shards,
+                    ..base.clone()
+                },
+            )
+            .unwrap();
+            let as_bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                as_bits(&one.power_series_w),
+                as_bits(&s.power_series_w),
+                "power trajectory diverged at shards={shards}"
+            );
+            assert_eq!(
+                as_bits(&one.response_series_ms),
+                as_bits(&s.response_series_ms),
+                "response trajectory diverged at shards={shards}"
+            );
+            assert_eq!(one.total_energy_wh.to_bits(), s.total_energy_wh.to_bits());
+            assert_eq!(one.migrations, s.migrations);
+            assert_eq!(one.final_placements, s.final_placements);
+        }
     }
 
     #[test]

@@ -385,7 +385,7 @@ impl Fig6Point {
 }
 
 /// Fig. 6: energy per VM for IPAC vs pMapper across data-center sizes,
-/// parallelized across sizes with scoped threads.
+/// parallelized across sizes on the [`crate::shard`] substrate.
 ///
 /// Every size runs against the **same fixed server fleet** (the paper uses
 /// one pool of 3,000 simulated servers for all 54 data centers): small data
@@ -393,10 +393,21 @@ impl Fig6Point {
 /// forced onto less efficient types — which is what makes energy-per-VM
 /// rise with the VM count in Fig. 6.
 pub fn fig6(trace: &UtilizationTrace, sizes: &[usize]) -> Result<Vec<Fig6Point>> {
+    fig6_sharded(trace, sizes, 0)
+}
+
+/// [`fig6`] with an explicit shard count (`0` = host parallelism). Each
+/// swept size is one shard-map element; results come back in sweep order,
+/// so the output is identical for every shard count.
+pub fn fig6_sharded(
+    trace: &UtilizationTrace,
+    sizes: &[usize],
+    shards: usize,
+) -> Result<Vec<Fig6Point>> {
     // Paper ratio: 3,000 servers for 5,415 VMs.
     let max_size = sizes.iter().copied().max().unwrap_or(1);
     let fleet = ((max_size as f64 * 3000.0 / 5415.0).ceil() as usize).max(8);
-    fig6_with_fleet(trace, sizes, fleet)
+    fig6_with_fleet_sharded(trace, sizes, fleet, shards)
 }
 
 /// [`fig6`] with an explicit shared fleet size.
@@ -405,39 +416,33 @@ pub fn fig6_with_fleet(
     sizes: &[usize],
     fleet: usize,
 ) -> Result<Vec<Fig6Point>> {
-    let mut out: Vec<Option<Fig6Point>> = vec![None; sizes.len()];
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let chunk_len = sizes.len().div_ceil(threads.max(1)).max(1);
-    let mut work: Vec<(&mut Option<Fig6Point>, usize)> =
-        out.iter_mut().zip(sizes.iter().copied()).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in work.chunks_mut(chunk_len) {
-            handles.push(scope.spawn(move || -> Result<()> {
-                for (slot, n_vms) in chunk.iter_mut() {
-                    let mut ipac_cfg = LargeScaleConfig::new(*n_vms, OptimizerKind::Ipac);
-                    ipac_cfg.n_servers = Some(fleet);
-                    let mut pmap_cfg = LargeScaleConfig::new(*n_vms, OptimizerKind::Pmapper);
-                    pmap_cfg.n_servers = Some(fleet);
-                    let ipac = run_large_scale(trace, &ipac_cfg)?;
-                    let pmapper = run_large_scale(trace, &pmap_cfg)?;
-                    **slot = Some(Fig6Point {
-                        n_vms: *n_vms,
-                        ipac,
-                        pmapper,
-                    });
-                }
-                Ok(())
-            }));
-        }
-        for h in handles {
-            h.join().expect("worker thread panicked")?;
-        }
-        Ok::<(), crate::CoreError>(())
-    })?;
-    Ok(out.into_iter().map(|p| p.expect("slot filled")).collect())
+    fig6_with_fleet_sharded(trace, sizes, fleet, 0)
+}
+
+/// [`fig6_with_fleet`] with an explicit shard count (`0` = host
+/// parallelism).
+pub fn fig6_with_fleet_sharded(
+    trace: &UtilizationTrace,
+    sizes: &[usize],
+    fleet: usize,
+    shards: usize,
+) -> Result<Vec<Fig6Point>> {
+    crate::shard::map_indices(sizes.len(), shards, |i| {
+        let n_vms = sizes[i];
+        let mut ipac_cfg = LargeScaleConfig::new(n_vms, OptimizerKind::Ipac);
+        ipac_cfg.n_servers = Some(fleet);
+        let mut pmap_cfg = LargeScaleConfig::new(n_vms, OptimizerKind::Pmapper);
+        pmap_cfg.n_servers = Some(fleet);
+        let ipac = run_large_scale(trace, &ipac_cfg)?;
+        let pmapper = run_large_scale(trace, &pmap_cfg)?;
+        Ok(Fig6Point {
+            n_vms,
+            ipac,
+            pmapper,
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Ablation (ABL1 in DESIGN.md): IPAC with and without DVFS, plus pMapper,
@@ -501,6 +506,37 @@ mod tests {
                 p.n_vms,
                 p.saving_fraction()
             );
+        }
+    }
+
+    #[test]
+    fn fig6_shard_count_does_not_change_results() {
+        let trace = generate_trace(&TraceConfig {
+            n_vms: 40,
+            n_samples: 24,
+            interval_s: 900.0,
+            seed: 7,
+        });
+        let sizes = [10usize, 25, 40];
+        let single = fig6_sharded(&trace, &sizes, 1).unwrap();
+        for shards in [2usize, 8] {
+            let sharded = fig6_sharded(&trace, &sizes, shards).unwrap();
+            assert_eq!(sharded.len(), single.len());
+            for (a, b) in sharded.iter().zip(&single) {
+                assert_eq!(a.n_vms, b.n_vms);
+                assert_eq!(
+                    a.ipac.total_energy_wh.to_bits(),
+                    b.ipac.total_energy_wh.to_bits(),
+                    "shards={shards} n={}",
+                    a.n_vms
+                );
+                assert_eq!(
+                    a.pmapper.total_energy_wh.to_bits(),
+                    b.pmapper.total_energy_wh.to_bits()
+                );
+                assert_eq!(a.ipac.migrations, b.ipac.migrations);
+                assert_eq!(a.ipac.final_placements, b.ipac.final_placements);
+            }
         }
     }
 

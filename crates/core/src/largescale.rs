@@ -7,13 +7,13 @@
 //! re-runs DVFS every trace sample (15 minutes); energy is integrated over
 //! the whole week and reported per VM — the metric of Fig. 6.
 
-use crate::optimizer::{Algorithm, OptimizerConfig, PowerOptimizer};
+use crate::optimizer::{snapshot_sharded, Algorithm, OptimizerConfig, PowerOptimizer};
 use crate::{CoreError, Result};
 use vdc_apptier::rng::SimRng;
 use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::item::PackItem;
 use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
-use vdc_consolidate::view::{apply_plan, snapshot};
+use vdc_consolidate::view::apply_plan;
 use vdc_dcsim::{DataCenter, Server, ServerSpec, VmId, VmSpec};
 use vdc_telemetry::Telemetry;
 use vdc_trace::UtilizationTrace;
@@ -49,6 +49,10 @@ pub struct LargeScaleConfig {
     pub count_wake_energy: bool,
     /// RNG seed for server-type assignment.
     pub seed: u64,
+    /// Worker threads for the per-server/per-sample map stages (see
+    /// [`crate::shard`]). `0` means "use the host parallelism"; the result
+    /// is bit-identical for every value.
+    pub shards: usize,
 }
 
 impl LargeScaleConfig {
@@ -62,6 +66,7 @@ impl LargeScaleConfig {
             overload_relief: true,
             count_wake_energy: true,
             seed: 0x5415,
+            shards: 1,
         }
     }
 }
@@ -93,6 +98,9 @@ pub struct LargeScaleResult {
     /// Energy spent on wake transitions (Wh, included in the total when
     /// `count_wake_energy` is set).
     pub wake_energy_wh: f64,
+    /// Final VM→server placement, sorted by VM id (shard-equivalence
+    /// suites compare this against the single-threaded run).
+    pub final_placements: Vec<(u64, usize)>,
 }
 
 /// Build the data-center server fleet: random mix of the three §VI-B CPU
@@ -120,11 +128,18 @@ fn build_fleet(n_servers: usize, seed: u64) -> DataCenter {
 }
 
 /// Auto-size the fleet so capacity comfortably exceeds peak demand.
-fn auto_servers(trace: &UtilizationTrace, n_vms: usize) -> usize {
+///
+/// The per-sample aggregate demand is a pure function of the trace, so the
+/// scan over samples fans out across shards; each sample's inner sum stays
+/// a sequential VM-order fold and the max-reduction runs on the caller in
+/// sample order — bit-identical for every shard count.
+fn auto_servers(trace: &UtilizationTrace, n_vms: usize, shards: usize) -> usize {
     // Peak aggregate demand across the trace.
+    let totals = crate::shard::map_indices(trace.n_samples(), shards, |t| {
+        (0..n_vms).map(|vm| trace.demand_ghz(vm, t)).sum::<f64>()
+    });
     let mut peak = 0.0_f64;
-    for t in 0..trace.n_samples() {
-        let total: f64 = (0..n_vms).map(|vm| trace.demand_ghz(vm, t)).sum();
+    for total in totals {
         peak = peak.max(total);
     }
     // Mean fleet capacity under the 15/35/50 type mix; 2× headroom + floor.
@@ -198,9 +213,10 @@ fn run_large_scale_impl(
             "optimizer period must be at least one sample".into(),
         ));
     }
+    let shards = crate::shard::resolve(cfg.shards);
     let n_servers = cfg
         .n_servers
-        .unwrap_or_else(|| auto_servers(trace, cfg.n_vms));
+        .unwrap_or_else(|| auto_servers(trace, cfg.n_vms, shards));
     let mut dc = build_fleet(n_servers, cfg.seed);
 
     // Register the VMs with their t = 0 demands.
@@ -223,6 +239,7 @@ fn run_large_scale_impl(
     ));
     let _ = Algorithm::Ipac; // (re-exported for callers)
     optimizer.set_telemetry(telemetry.clone());
+    optimizer.set_shards(shards);
 
     // Initial placement.
     optimizer.optimize(&mut dc, &initial_items)?;
@@ -246,7 +263,8 @@ fn run_large_scale_impl(
             optimizer.optimize(&mut dc, &[])?;
         } else if cfg.overload_relief {
             // On-demand overload mitigation between invocations (§III).
-            let outcome = relieve_overloads(&snapshot(&dc), &relief_constraint, &relief_cfg);
+            let snap = snapshot_sharded(&dc, shards);
+            let outcome = relieve_overloads(&snap, &relief_constraint, &relief_cfg);
             if !outcome.plan.is_empty() {
                 let stats = apply_plan(&mut dc, &outcome.plan)?;
                 relief_migrations += stats.migrations as u64;
@@ -265,27 +283,38 @@ fn run_large_scale_impl(
         // Energy of *active* servers only: the paper's inactive pool is
         // powered off ("enough inactive servers which will be waken up …
         // if necessary"), not suspended, so it draws nothing.
+        // Per-server power/demand reads are pure with respect to the
+        // data-center state, so they fan out across shards; the watts/SLA
+        // sums stay sequential folds in active-list order, matching the
+        // single-threaded left fold bit for bit. The span isolates the
+        // shardable region for the `shard_scaling` bench's parallel-fraction
+        // estimate.
+        let power_span = telemetry.timer("largescale.power_map_ns");
+        let per_server: Vec<Result<(f64, f64, f64)>> =
+            crate::shard::map_indices(active.len(), shards, |i| {
+                let s = active[i];
+                let w = dc.server_power_watts(s)?;
+                let demand = dc.server_demand_ghz(s)?;
+                let cap = dc.server(s)?.spec.max_capacity_ghz();
+                Ok((w, demand, cap))
+            });
+        power_span.finish();
         let mut watts = 0.0_f64;
-        for &s in &active {
-            let w = dc.server_power_watts(s)?;
+        let mut sample_demand = 0.0_f64;
+        let mut sample_unmet = 0.0_f64;
+        for r in per_server {
+            let (w, demand, cap) = r?;
             telemetry.record("dcsim.server_power_w", w);
             watts += w;
             // SLA proxy: demand beyond maximum capacity goes unserved.
-            let demand = dc.server_demand_ghz(s)?;
-            let cap = dc.server(s)?.spec.max_capacity_ghz();
             demand_total += demand;
             demand_unmet += (demand - cap).max(0.0);
+            sample_demand += demand;
+            sample_unmet += (demand - cap).max(0.0);
         }
         total += watts * trace.interval_s() / 3600.0;
         telemetry.incr("largescale.samples", 1);
         if let Some(sink) = series.as_deref_mut() {
-            let mut sample_demand = 0.0;
-            let mut sample_unmet = 0.0;
-            for &srv in &active {
-                let demand = dc.server_demand_ghz(srv)?;
-                sample_demand += demand;
-                sample_unmet += (demand - dc.server(srv)?.spec.max_capacity_ghz()).max(0.0);
-            }
             sink.push(WeekSample {
                 t_s: t as f64 * trace.interval_s(),
                 power_w: watts,
@@ -316,6 +345,12 @@ fn run_large_scale_impl(
         "largescale.migrations",
         optimizer.total_migrations() + relief_migrations,
     );
+    let mut final_placements = Vec::with_capacity(cfg.n_vms);
+    for vm in 0..cfg.n_vms as u64 {
+        if let Some(server) = dc.placement_of(VmId(vm)) {
+            final_placements.push((vm, server));
+        }
+    }
     Ok(LargeScaleResult {
         n_vms: cfg.n_vms,
         total_energy_wh: total,
@@ -331,6 +366,7 @@ fn run_large_scale_impl(
             0.0
         },
         wake_energy_wh,
+        final_placements,
     })
 }
 
@@ -423,6 +459,94 @@ mod tests {
         let r = run_large_scale(&t, &LargeScaleConfig::new(30, OptimizerKind::Ipac)).unwrap();
         // With auto-sizing there must be no runaway active-server count.
         assert!(r.peak_active_servers < 40);
+    }
+
+    fn assert_results_bit_identical(a: &LargeScaleResult, b: &LargeScaleResult, ctx: &str) {
+        assert_eq!(a.n_vms, b.n_vms, "{ctx}");
+        assert_eq!(
+            a.total_energy_wh.to_bits(),
+            b.total_energy_wh.to_bits(),
+            "{ctx}: total energy"
+        );
+        assert_eq!(
+            a.energy_per_vm_wh.to_bits(),
+            b.energy_per_vm_wh.to_bits(),
+            "{ctx}: energy per VM"
+        );
+        assert_eq!(a.migrations, b.migrations, "{ctx}: migrations");
+        assert_eq!(
+            a.mean_active_servers.to_bits(),
+            b.mean_active_servers.to_bits(),
+            "{ctx}: mean active"
+        );
+        assert_eq!(a.peak_active_servers, b.peak_active_servers, "{ctx}");
+        assert_eq!(a.optimizer_invocations, b.optimizer_invocations, "{ctx}");
+        assert_eq!(a.relief_migrations, b.relief_migrations, "{ctx}");
+        assert_eq!(
+            a.sla_violation_fraction.to_bits(),
+            b.sla_violation_fraction.to_bits(),
+            "{ctx}: SLA fraction"
+        );
+        assert_eq!(
+            a.wake_energy_wh.to_bits(),
+            b.wake_energy_wh.to_bits(),
+            "{ctx}: wake energy"
+        );
+        assert_eq!(a.final_placements, b.final_placements, "{ctx}: placements");
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_single_threaded() {
+        let t = small_trace();
+        let base = LargeScaleConfig::new(40, OptimizerKind::Ipac);
+        let (single, single_series) = {
+            let mut cfg = base.clone();
+            cfg.shards = 1;
+            run_large_scale_with_series(&t, &cfg, &Telemetry::disabled()).unwrap()
+        };
+        for shards in [2usize, 3, 8] {
+            let mut cfg = base.clone();
+            cfg.shards = shards;
+            let (sharded, series) =
+                run_large_scale_with_series(&t, &cfg, &Telemetry::disabled()).unwrap();
+            assert_results_bit_identical(&single, &sharded, &format!("shards={shards}"));
+            assert_eq!(series.len(), single_series.len());
+            for (a, b) in series.iter().zip(&single_series) {
+                assert_eq!(a.power_w.to_bits(), b.power_w.to_bits(), "shards={shards}");
+                assert_eq!(a.active_servers, b.active_servers);
+                assert_eq!(a.migrations_so_far, b.migrations_so_far);
+                assert_eq!(
+                    a.unmet_fraction.to_bits(),
+                    b.unmet_fraction.to_bits(),
+                    "shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_vm_runs_and_is_shard_invariant() {
+        // Edge case: 1 VM, and far more shards than VMs or servers.
+        let t = small_trace();
+        let mut cfg = LargeScaleConfig::new(1, OptimizerKind::Ipac);
+        cfg.shards = 1;
+        let single = run_large_scale(&t, &cfg).unwrap();
+        assert_eq!(single.final_placements.len(), 1);
+        assert!(single.total_energy_wh > 0.0);
+        cfg.shards = 64;
+        let sharded = run_large_scale(&t, &cfg).unwrap();
+        assert_results_bit_identical(&single, &sharded, "1 VM, 64 shards");
+    }
+
+    #[test]
+    fn shards_zero_means_auto_and_stays_identical() {
+        let t = small_trace();
+        let mut cfg = LargeScaleConfig::new(20, OptimizerKind::Pmapper);
+        cfg.shards = 1;
+        let single = run_large_scale(&t, &cfg).unwrap();
+        cfg.shards = 0; // auto: host parallelism
+        let auto = run_large_scale(&t, &cfg).unwrap();
+        assert_results_bit_identical(&single, &auto, "shards=0 (auto)");
     }
 }
 

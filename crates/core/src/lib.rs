@@ -20,6 +20,11 @@
 //! (4 servers, 8 two-tier RUBBoS-like applications at concurrency 40);
 //! [`largescale`] wires the trace-driven 3,000-server simulation of
 //! §VII-B. [`experiments`] contains one runner per paper figure.
+//!
+//! [`shard`] is the deterministic fork–join substrate under [`cosim`] and
+//! [`largescale`]: per-element work fans out over scoped threads while
+//! every reduction stays a sequential index-order fold, so sharded runs
+//! are bit-identical to single-threaded runs at any shard count.
 
 #![warn(missing_docs)]
 
@@ -28,6 +33,7 @@ pub mod cosim;
 pub mod experiments;
 pub mod largescale;
 pub mod optimizer;
+pub mod shard;
 pub mod testbed;
 
 pub use controller::{IdentificationConfig, ResponseTimeController};

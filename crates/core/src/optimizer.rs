@@ -8,13 +8,46 @@
 use crate::Result;
 use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::ipac::{ipac_plan, IpacConfig};
-use vdc_consolidate::item::PackItem;
+use vdc_consolidate::item::{PackItem, PackServer};
 use vdc_consolidate::plan::ConsolidationPlan;
 use vdc_consolidate::pmapper::pmapper_plan;
 use vdc_consolidate::policy::{AlwaysAllow, MigrationPolicy};
-use vdc_consolidate::view::{apply_plan, snapshot, ApplyStats};
+use vdc_consolidate::view::{apply_plan, ApplyStats};
 use vdc_dcsim::DataCenter;
 use vdc_telemetry::Telemetry;
+
+/// Build the consolidation snapshot with per-server view construction
+/// fanned out over `shards` workers ([`crate::shard`]).
+///
+/// Produces exactly the vector [`vdc_consolidate::view::snapshot`] builds —
+/// server order is index-stable and each [`PackServer`] depends only on its
+/// own server's state — so planning decisions are unchanged by the shard
+/// count. Walking every server's resident VM list is the dominant
+/// per-sample cost of the week replay (BTreeMap lookups per hosted VM),
+/// which is why the snapshot is worth sharding at all.
+pub fn snapshot_sharded(dc: &DataCenter, shards: usize) -> Vec<PackServer> {
+    crate::shard::map_indices(dc.n_servers(), shards, |i| {
+        let server = dc.server(i).expect("index in range");
+        let resident = dc
+            .hosted_vms(i)
+            .expect("index in range")
+            .iter()
+            .map(|&vm| {
+                let spec = dc.vm(vm).expect("hosted VM is registered");
+                PackItem::new(vm, spec.cpu_demand_ghz, spec.memory_mib)
+            })
+            .collect();
+        PackServer {
+            index: i,
+            cpu_capacity_ghz: server.spec.max_capacity_ghz(),
+            mem_capacity_mib: server.spec.memory_mib,
+            max_watts: server.spec.power.max_watts,
+            idle_watts: server.spec.power.static_watts,
+            active: server.is_active(),
+            resident,
+        }
+    })
+}
 
 /// Which consolidation algorithm the optimizer runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +99,7 @@ pub struct PowerOptimizer {
     invocations: u64,
     total_migrations: u64,
     telemetry: Telemetry,
+    shards: usize,
 }
 
 impl PowerOptimizer {
@@ -76,7 +110,16 @@ impl PowerOptimizer {
             invocations: 0,
             total_migrations: 0,
             telemetry: Telemetry::disabled(),
+            shards: 1,
         }
+    }
+
+    /// Fan snapshot construction out over `shards` workers (`0` = host
+    /// parallelism). The plan/apply phases stay sequential — an optimizer
+    /// invocation is the serial barrier of the sharded replay loop, and its
+    /// consolidation decisions are identical at every shard count.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = crate::shard::resolve(shards);
     }
 
     /// Attach a telemetry sink. Each invocation then records its planning
@@ -99,7 +142,7 @@ impl PowerOptimizer {
 
     /// Plan without applying (inspection / dry runs).
     pub fn plan(&self, dc: &DataCenter, new_items: &[PackItem]) -> ConsolidationPlan {
-        let snap = snapshot(dc);
+        let snap = snapshot_sharded(dc, self.shards);
         match self.cfg.algorithm {
             Algorithm::Ipac => ipac_plan(
                 &snap,
@@ -154,6 +197,7 @@ fn active_slack_ghz(dc: &DataCenter) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vdc_consolidate::view::snapshot;
     use vdc_dcsim::{Server, ServerSpec, VmId, VmSpec};
 
     fn spread_dc() -> DataCenter {
@@ -217,5 +261,78 @@ mod tests {
         assert!(!plan.moves.is_empty());
         // dc unchanged.
         assert_eq!(dc.placement_of(VmId(1)), Some(1));
+    }
+
+    #[test]
+    fn sharded_snapshot_equals_sequential_snapshot() {
+        let dc = spread_dc();
+        let sequential = snapshot(&dc);
+        for shards in [1usize, 2, 3, 16] {
+            let sharded = snapshot_sharded(&dc, shards);
+            assert_eq!(sharded.len(), sequential.len());
+            for (a, b) in sharded.iter().zip(&sequential) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.cpu_capacity_ghz.to_bits(), b.cpu_capacity_ghz.to_bits());
+                assert_eq!(a.mem_capacity_mib.to_bits(), b.mem_capacity_mib.to_bits());
+                assert_eq!(a.active, b.active);
+                assert_eq!(a.resident.len(), b.resident.len());
+                for (x, y) in a.resident.iter().zip(&b.resident) {
+                    assert_eq!(x.vm, y.vm);
+                    assert_eq!(x.cpu_ghz.to_bits(), y.cpu_ghz.to_bits());
+                    assert_eq!(x.mem_mib.to_bits(), y.mem_mib.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_datacenter_invocation_is_a_safe_noop() {
+        // 0 VMs, 0 servers: the optimizer/largescale boundary must not
+        // panic or fabricate work.
+        let mut dc = DataCenter::new();
+        let mut opt = PowerOptimizer::new(OptimizerConfig::ipac_default());
+        let stats = opt.optimize(&mut dc, &[]).unwrap();
+        assert_eq!(stats, ApplyStats::default());
+        assert_eq!(opt.invocations(), 1);
+        assert!(snapshot_sharded(&dc, 8).is_empty());
+    }
+
+    #[test]
+    fn servers_without_vms_stay_asleep() {
+        // Servers but no VMs: nothing to place, nothing woken.
+        let mut dc = DataCenter::new();
+        for _ in 0..3 {
+            dc.add_server(Server::asleep(ServerSpec::type_dual_2ghz()));
+        }
+        let mut opt = PowerOptimizer::new(OptimizerConfig::ipac_default());
+        let stats = opt.optimize(&mut dc, &[]).unwrap();
+        assert_eq!(stats.woken, 0);
+        assert!(dc.active_servers().is_empty());
+    }
+
+    #[test]
+    fn all_asleep_fleet_wakes_for_new_items() {
+        // The wake path of the boundary: an entirely sleeping fleet must
+        // wake exactly the servers the placement needs.
+        let mut dc = DataCenter::new();
+        for _ in 0..4 {
+            dc.add_server(Server::asleep(ServerSpec::type_dual_2ghz()));
+        }
+        let mut items = Vec::new();
+        for i in 0..3 {
+            dc.add_vm(VmSpec::new(i, 1.0, 1024.0)).unwrap();
+            items.push(PackItem::new(VmId(i), 1.0, 1024.0));
+        }
+        let mut opt = PowerOptimizer::new(OptimizerConfig::ipac_default());
+        opt.set_shards(8);
+        let stats = opt.optimize(&mut dc, &items).unwrap();
+        assert_eq!(stats.placements, 3);
+        let active = dc.active_servers();
+        assert!(!active.is_empty(), "placement must wake servers");
+        assert!(active.len() < 4, "3 GHz of demand must not wake the fleet");
+        assert!(dc.wake_count() >= 1);
+        for i in 0..3 {
+            assert!(dc.placement_of(VmId(i)).is_some());
+        }
     }
 }

@@ -1,0 +1,198 @@
+//! Tier-1 shard-equivalence gate: the sharded replay and co-simulation
+//! must be **bit-identical** to the single-threaded run at every shard
+//! count — trajectories, telemetry counters, SLO accounting, and final VM
+//! placements.
+//!
+//! The guarantee holds because sharding only fans out per-element work
+//! (one application's control periods, one server's power read) while
+//! every f64 reduction stays a sequential index-order fold (see
+//! `vdc_core::shard`). These tests are the enforcement: any change that
+//! lets the shard count leak into an f64 — a parallel sum, a
+//! HashMap-ordered fold, a per-shard RNG reseed — fails here, not in a
+//! figure three PRs later.
+//!
+//! `ci.sh` additionally runs this suite with `VDC_SHARDS=1` and
+//! `VDC_SHARDS=8`, which the env-driven test below picks up.
+
+use vdc_core::cosim::{run_cosim_with_telemetry, CosimConfig, CosimResult};
+use vdc_core::largescale::{
+    run_large_scale_with_series, LargeScaleConfig, LargeScaleResult, OptimizerKind,
+};
+use vdc_telemetry::Telemetry;
+use vdc_trace::{generate_trace, TraceConfig, UtilizationTrace};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn bits(series: &[f64]) -> Vec<u64> {
+    series.iter().map(|x| x.to_bits()).collect()
+}
+
+fn fast_trace(n_vms: usize, seed: u64) -> UtilizationTrace {
+    generate_trace(&TraceConfig {
+        n_vms,
+        n_samples: 24,
+        interval_s: 900.0,
+        seed,
+    })
+}
+
+/// Per-app SLO accounting, f64 fields bit-cast for exact comparison:
+/// `(app, setpoint_bits, samples, violations, mean_bits)`.
+type SloState = (u32, u64, u64, u64, u64);
+
+/// Deterministic telemetry state: counters plus the SLO accounting.
+/// Timing histograms are excluded on purpose — they record wall-clock
+/// nanoseconds, the one thing sharding *should* change.
+fn telemetry_state(t: &Telemetry) -> (Vec<(String, u64)>, Vec<SloState>) {
+    let counters = t.counter_values();
+    let slo = t
+        .slo_snapshot()
+        .into_iter()
+        .map(|s| {
+            (
+                s.app,
+                s.setpoint_ms.to_bits(),
+                s.samples,
+                s.violations,
+                s.mean_ms.to_bits(),
+            )
+        })
+        .collect();
+    (counters, slo)
+}
+
+fn cosim_at(trace: &UtilizationTrace, shards: usize) -> (CosimResult, Telemetry) {
+    let cfg = CosimConfig {
+        n_apps: 6,
+        control_periods_per_sample: 2,
+        optimizer_period_samples: 8,
+        seed: 0x5A4D,
+        shards,
+        ..Default::default()
+    };
+    let telemetry = Telemetry::enabled();
+    let result = run_cosim_with_telemetry(trace, &cfg, &telemetry).expect("cosim runs");
+    (result, telemetry)
+}
+
+fn assert_cosim_identical(a: &CosimResult, b: &CosimResult, ctx: &str) {
+    assert_eq!(
+        bits(&a.power_series_w),
+        bits(&b.power_series_w),
+        "{ctx}: power trajectory diverged"
+    );
+    assert_eq!(
+        bits(&a.response_series_ms),
+        bits(&b.response_series_ms),
+        "{ctx}: response trajectory diverged"
+    );
+    assert_eq!(
+        a.total_energy_wh.to_bits(),
+        b.total_energy_wh.to_bits(),
+        "{ctx}: total energy"
+    );
+    assert_eq!(
+        a.mean_tracking_error_ms.to_bits(),
+        b.mean_tracking_error_ms.to_bits(),
+        "{ctx}: tracking error"
+    );
+    assert_eq!(
+        a.violation_fraction.to_bits(),
+        b.violation_fraction.to_bits(),
+        "{ctx}: violation fraction"
+    );
+    assert_eq!(a.migrations, b.migrations, "{ctx}: migrations");
+    assert_eq!(
+        a.final_placements, b.final_placements,
+        "{ctx}: final VM placements"
+    );
+}
+
+#[test]
+fn cosim_is_bit_identical_across_shard_counts() {
+    let trace = fast_trace(6, 0x7ACE);
+    let (baseline, base_tel) = cosim_at(&trace, 1);
+    let base_state = telemetry_state(&base_tel);
+    for shards in SHARD_COUNTS {
+        let (r, tel) = cosim_at(&trace, shards);
+        assert_cosim_identical(&baseline, &r, &format!("cosim shards={shards}"));
+        assert_eq!(
+            base_state,
+            telemetry_state(&tel),
+            "cosim shards={shards}: telemetry counters/SLO diverged"
+        );
+    }
+}
+
+fn largescale_at(
+    trace: &UtilizationTrace,
+    shards: usize,
+) -> (LargeScaleResult, Vec<u64>, Telemetry) {
+    let mut cfg = LargeScaleConfig::new(30, OptimizerKind::Ipac);
+    cfg.shards = shards;
+    let telemetry = Telemetry::enabled();
+    let (result, series) =
+        run_large_scale_with_series(trace, &cfg, &telemetry).expect("replay runs");
+    let series_bits = series.iter().map(|s| s.power_w.to_bits()).collect();
+    (result, series_bits, telemetry)
+}
+
+fn assert_largescale_identical(a: &LargeScaleResult, b: &LargeScaleResult, ctx: &str) {
+    assert_eq!(
+        a.total_energy_wh.to_bits(),
+        b.total_energy_wh.to_bits(),
+        "{ctx}: total energy"
+    );
+    assert_eq!(
+        a.energy_per_vm_wh.to_bits(),
+        b.energy_per_vm_wh.to_bits(),
+        "{ctx}: energy per VM"
+    );
+    assert_eq!(
+        a.sla_violation_fraction.to_bits(),
+        b.sla_violation_fraction.to_bits(),
+        "{ctx}: SLA fraction"
+    );
+    assert_eq!(a.migrations, b.migrations, "{ctx}: migrations");
+    assert_eq!(a.relief_migrations, b.relief_migrations, "{ctx}: relief");
+    assert_eq!(a.peak_active_servers, b.peak_active_servers, "{ctx}");
+    assert_eq!(
+        a.final_placements, b.final_placements,
+        "{ctx}: final VM placements"
+    );
+}
+
+#[test]
+fn largescale_is_bit_identical_across_shard_counts() {
+    let trace = fast_trace(30, 0xBEE);
+    let (baseline, base_series, base_tel) = largescale_at(&trace, 1);
+    let base_state = telemetry_state(&base_tel);
+    for shards in SHARD_COUNTS {
+        let (r, series, tel) = largescale_at(&trace, shards);
+        assert_largescale_identical(&baseline, &r, &format!("largescale shards={shards}"));
+        assert_eq!(
+            base_series, series,
+            "largescale shards={shards}: power series diverged"
+        );
+        assert_eq!(
+            base_state,
+            telemetry_state(&tel),
+            "largescale shards={shards}: telemetry counters diverged"
+        );
+    }
+}
+
+/// CI entry point: `VDC_SHARDS=N` pins an extra shard count to verify
+/// against the single-threaded baseline (ci.sh runs 1 and 8). Unset, it
+/// exercises the auto mode (`shards = 0`, host parallelism).
+#[test]
+fn env_selected_shard_count_matches_baseline() {
+    let shards: usize = std::env::var("VDC_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let trace = fast_trace(6, 0xC1);
+    let (baseline, _) = cosim_at(&trace, 1);
+    let (r, _) = cosim_at(&trace, shards);
+    assert_cosim_identical(&baseline, &r, &format!("cosim VDC_SHARDS={shards}"));
+}
