@@ -23,6 +23,10 @@ run cargo clippy --all-targets --offline -- -D warnings
 run cargo build --release --offline
 run cargo test -q --offline
 
+# Documentation must build clean (broken intra-doc links and malformed
+# examples fail here, not on docs.rs).
+run cargo doc --no-deps --offline
+
 # Telemetry-overhead smoke check: an instrumented co-simulation must stay
 # within a generous factor of the no-op-sink run (release build, so the
 # ratio reflects real relative cost, not debug-build noise).
@@ -30,8 +34,12 @@ run cargo test -q --release --offline --test telemetry_overhead
 
 # Shard-equivalence gate at both ends of the shard range: the sharded
 # replay/co-sim must be bit-identical to the single-threaded run whether
-# the env pins 1 worker or 8 (tests/sharding.rs reads VDC_SHARDS).
+# the env pins 1 worker or 8. tests/sharding.rs reads VDC_SHARDS in both
+# its co-sim gate and its trace-replay twin (demand update + DVFS pass +
+# power series), so each matrix entry covers the full replay path.
 run env VDC_SHARDS=1 cargo test -q --offline --test sharding
 run env VDC_SHARDS=8 cargo test -q --offline --test sharding
+run env VDC_SHARDS=1 cargo test -q --offline --test sharding env_selected_shard_count_matches_replay_baseline
+run env VDC_SHARDS=8 cargo test -q --offline --test sharding env_selected_shard_count_matches_replay_baseline
 
 echo "==> ci.sh: all gates passed"

@@ -9,7 +9,7 @@ use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
 use vdc_consolidate::view::snapshot;
 use vdc_core::optimizer::{OptimizerConfig, PowerOptimizer};
-use vdc_dcsim::{DataCenter, Server, ServerSpec, VmId, VmSpec};
+use vdc_dcsim::{DataCenter, Server, ServerHandle, ServerSpec, VmSpec};
 use vdc_trace::{generate_trace, TraceConfig};
 
 fn bench_trace_generation(h: &mut BenchHarness) {
@@ -34,14 +34,16 @@ fn pressured_dc(n_servers: usize, n_vms: usize, seed: u64) -> DataCenter {
         let spec = rng.pick(&catalog).clone();
         dc.add_server(Server::active(spec));
     }
+    let mut vms = Vec::with_capacity(n_vms);
     for i in 0..n_vms {
         let demand = 0.3 + rng.uniform() * 1.2;
-        dc.add_vm(VmSpec::new(i as u64, demand, 512.0)).unwrap();
+        let vm = dc.add_vm(VmSpec::new(i as u64, demand, 512.0)).unwrap();
+        vms.push(vm);
         // Round-robin placement ignores balance: some servers overload.
         let mut placed = false;
         for off in 0..n_servers {
-            let s = (i + off) % n_servers;
-            if dc.place_vm(VmId(i as u64), s).is_ok() {
+            let s = ServerHandle::from_index((i + off) % n_servers);
+            if dc.place_vm(vm, s).is_ok() {
                 placed = true;
                 break;
             }
@@ -50,7 +52,7 @@ fn pressured_dc(n_servers: usize, n_vms: usize, seed: u64) -> DataCenter {
     }
     // Inflate some demands to create genuine overload.
     for i in (0..n_vms).step_by(7) {
-        dc.set_vm_demand(VmId(i as u64), 3.5).unwrap();
+        dc.set_vm_demand(vms[i], 3.5).unwrap();
     }
     dc
 }

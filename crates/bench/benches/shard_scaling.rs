@@ -8,16 +8,18 @@
 //!   this host**. Bounded by `host_parallelism`; on a 1-core CI box it
 //!   stays ~1.0 by construction.
 //! * `speedup_projected` — Amdahl's law applied to the parallel fraction
-//!   measured from the telemetry span around the shardable region
-//!   (`cosim.control_ns` / `largescale.power_map_ns`): what the measured
-//!   split predicts for a host with at least `shards` idle cores.
+//!   measured from the telemetry spans around the shardable regions
+//!   (`cosim.control_ns`; for the replay the sum of the demand-update,
+//!   DVFS-decision, snapshot, power-map, and pack-search spans): what the
+//!   measured split predicts for a host with at least `shards` idle cores.
 //!
 //! The JSON carries both plus the host parallelism, so a reader can never
 //! mistake a projection for a measurement.
 
 use std::time::Instant;
-use vdc_core::cosim::{run_cosim_with_telemetry, CosimConfig};
-use vdc_core::largescale::{run_large_scale_with_telemetry, LargeScaleConfig, OptimizerKind};
+use vdc_core::cosim::{run_cosim, CosimConfig};
+use vdc_core::largescale::{run_large_scale, LargeScaleConfig, OptimizerKind};
+use vdc_core::RunOptions;
 use vdc_dcsim::json::{array, JsonObject};
 use vdc_telemetry::Telemetry;
 use vdc_trace::{generate_trace, TraceConfig, UtilizationTrace};
@@ -33,13 +35,15 @@ fn week_trace(n_vms: usize, seed: u64) -> UtilizationTrace {
     })
 }
 
-/// Total nanoseconds recorded under `span` (count × mean).
-fn span_total_ns(t: &Telemetry, span: &str) -> f64 {
+/// Total nanoseconds recorded under the named spans (count × mean each).
+/// The spans must cover disjoint regions, so their sum is the total time
+/// spent inside shardable work.
+fn span_total_ns(t: &Telemetry, spans: &[&str]) -> f64 {
     t.histogram_summaries()
         .into_iter()
-        .find(|h| h.name == span)
+        .filter(|h| spans.contains(&h.name.as_str()))
         .map(|h| h.count as f64 * h.mean)
-        .unwrap_or(0.0)
+        .sum()
 }
 
 struct Run {
@@ -49,7 +53,7 @@ struct Run {
 }
 
 /// Time one workload at every shard count; returns runs in shard order.
-fn sweep(workload: &str, span: &str, mut run: impl FnMut(usize, &Telemetry)) -> Vec<Run> {
+fn sweep(workload: &str, spans: &[&str], mut run: impl FnMut(usize, &Telemetry)) -> Vec<Run> {
     SHARD_COUNTS
         .iter()
         .map(|&shards| {
@@ -57,7 +61,7 @@ fn sweep(workload: &str, span: &str, mut run: impl FnMut(usize, &Telemetry)) -> 
             let t = Instant::now();
             run(shards, &telemetry);
             let wall_ns = t.elapsed().as_nanos() as f64;
-            let parallel_ns = span_total_ns(&telemetry, span);
+            let parallel_ns = span_total_ns(&telemetry, spans);
             println!(
                 "{workload:<18} shards={shards}  wall {:>8.2} ms  shardable {:>8.2} ms",
                 wall_ns / 1e6,
@@ -109,27 +113,43 @@ fn main() {
 
     // Week-replay co-simulation: MPC-dominated, the near-linear workload.
     let cosim_trace = week_trace(16, 0x5CA1E);
-    let cosim_runs = sweep("cosim_week", "cosim.control_ns", |shards, telemetry| {
+    let cosim_runs = sweep("cosim_week", &["cosim.control_ns"], |shards, telemetry| {
         let cfg = CosimConfig {
             n_apps: 16,
             control_periods_per_sample: 2,
             seed: 0x5CA1E,
-            shards,
             ..Default::default()
         };
-        run_cosim_with_telemetry(&cosim_trace, &cfg, telemetry).expect("cosim week replay");
+        let opts = RunOptions::default()
+            .with_telemetry(telemetry)
+            .with_shards(shards);
+        run_cosim(&cosim_trace, &cfg, &opts).expect("cosim week replay");
     });
 
     // Week replay of the trace-driven large-scale simulation (Fig. 6
-    // machinery): BTreeMap-walk bound, with a sequential optimizer barrier.
+    // machinery). The shardable regions are the per-sample demand-update
+    // and DVFS-decision fans, the consolidation/relief snapshots, the
+    // per-server power map, and the Minimum Slack root sweeps inside the
+    // optimizer's packing (`optimizer.pack_search_ns` — the replay's
+    // dominant cost); the sequential remainder is the pack commit loops
+    // plus the index-order folds.
     let ls_trace = week_trace(600, 0x1EE7);
     let ls_runs = sweep(
         "largescale_week",
-        "largescale.power_map_ns",
+        &[
+            "largescale.demand_ns",
+            "largescale.dvfs_ns",
+            "largescale.relief_snapshot_ns",
+            "largescale.power_map_ns",
+            "optimizer.snapshot_ns",
+            "optimizer.pack_search_ns",
+        ],
         |shards, telemetry| {
-            let mut cfg = LargeScaleConfig::new(600, OptimizerKind::Ipac);
-            cfg.shards = shards;
-            run_large_scale_with_telemetry(&ls_trace, &cfg, telemetry).expect("week replay");
+            let cfg = LargeScaleConfig::new(600, OptimizerKind::Ipac);
+            let opts = RunOptions::default()
+                .with_telemetry(telemetry)
+                .with_shards(shards);
+            run_large_scale(&ls_trace, &cfg, &opts).expect("week replay");
         },
     );
 

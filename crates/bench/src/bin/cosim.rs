@@ -20,7 +20,8 @@
 //! accounting (see DESIGN.md §Telemetry).
 
 use vdc_bench::{arg_num, arg_present, figure_header, rule};
-use vdc_core::cosim::{run_cosim, run_cosim_with_telemetry, CosimConfig};
+use vdc_core::cosim::{run_cosim, CosimConfig};
+use vdc_core::RunOptions;
 use vdc_telemetry::export::write_metrics;
 use vdc_telemetry::{Reporter, Telemetry};
 use vdc_trace::{generate_trace, TraceConfig};
@@ -57,7 +58,12 @@ fn main() {
     };
     let telemetry = Telemetry::enabled();
     reporter.debug("running the dynamic (MPC + IPAC + DVFS) configuration");
-    let dynamic = run_cosim_with_telemetry(&trace, &base, &telemetry).expect("dynamic run failed");
+    let dynamic = run_cosim(
+        &trace,
+        &base,
+        &RunOptions::default().with_telemetry(&telemetry),
+    )
+    .expect("dynamic run failed");
     reporter.debug("running the static peak-provisioned baseline");
     let static_peak = run_cosim(
         &trace,
@@ -65,6 +71,7 @@ fn main() {
             controllers_enabled: false,
             ..base
         },
+        &RunOptions::default(),
     )
     .expect("static run failed");
 

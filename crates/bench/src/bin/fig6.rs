@@ -14,7 +14,7 @@
 //! (default: host parallelism; output is bit-identical for every N).
 
 use vdc_bench::{arg_num, arg_present, figure_header, rule};
-use vdc_core::experiments::fig6_sharded;
+use vdc_core::experiments::{fig6, Fig6Config};
 use vdc_trace::{generate_trace, TraceConfig};
 
 fn main() {
@@ -58,7 +58,11 @@ fn main() {
         sizes.len()
     );
     let trace = generate_trace(&trace_cfg);
-    let points = fig6_sharded(&trace, &sizes, shards).expect("fig6 failed");
+    let fig6_cfg = Fig6Config {
+        shards,
+        ..Fig6Config::new(sizes)
+    };
+    let points = fig6(&trace, &fig6_cfg).expect("fig6 failed");
 
     rule(104);
     println!(

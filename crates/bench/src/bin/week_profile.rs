@@ -16,7 +16,8 @@
 //! transition counts (see DESIGN.md §Telemetry).
 
 use vdc_bench::{arg_num, arg_present, figure_header, rule};
-use vdc_core::largescale::{run_large_scale_with_series, LargeScaleConfig, OptimizerKind};
+use vdc_core::largescale::{run_large_scale, LargeScaleConfig, OptimizerKind};
+use vdc_core::RunOptions;
 use vdc_telemetry::export::write_metrics;
 use vdc_telemetry::{Reporter, Telemetry};
 use vdc_trace::{generate_trace, TraceConfig};
@@ -53,10 +54,13 @@ fn main() {
     ));
     let trace = generate_trace(&trace_cfg);
     let telemetry = Telemetry::enabled();
-    let mut cfg = LargeScaleConfig::new(n_vms, OptimizerKind::Ipac);
-    cfg.shards = shards;
-    let (result, series) =
-        run_large_scale_with_series(&trace, &cfg, &telemetry).expect("run failed");
+    let cfg = LargeScaleConfig::new(n_vms, OptimizerKind::Ipac);
+    let opts = RunOptions::default()
+        .with_telemetry(&telemetry)
+        .with_shards(shards)
+        .with_series();
+    let result = run_large_scale(&trace, &cfg, &opts).expect("run failed");
+    let series = &result.series;
 
     rule(76);
     println!(

@@ -53,10 +53,32 @@ impl Default for IpacConfig {
 pub fn ipac_plan(
     servers: &[PackServer],
     new_items: &[PackItem],
-    constraint: &dyn Constraint,
+    constraint: &(dyn Constraint + Sync),
     policy: &dyn MigrationPolicy,
     cfg: &IpacConfig,
 ) -> ConsolidationPlan {
+    ipac_plan_stats(servers, new_items, constraint, policy, cfg).0
+}
+
+/// Cost accounting for one IPAC invocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IpacStats {
+    /// Wall time spent inside the Minimum Slack root sweeps (ns) — the
+    /// portion of the invocation that fans out over
+    /// [`MinSlackConfig`](crate::minslack::MinSlackConfig)`::shards`
+    /// workers. The rest of the invocation (eviction scans, commit loops,
+    /// the final diff) is sequential.
+    pub search_ns: u64,
+}
+
+/// [`ipac_plan`] plus the invocation's [`IpacStats`].
+pub fn ipac_plan_stats(
+    servers: &[PackServer],
+    new_items: &[PackItem],
+    constraint: &(dyn Constraint + Sync),
+    policy: &dyn MigrationPolicy,
+    cfg: &IpacConfig,
+) -> (ConsolidationPlan, IpacStats) {
     let mut state: Vec<PackServer> = servers.to_vec();
     // Remember where every VM started for the final diff.
     let mut origin: BTreeMap<VmId, Option<usize>> = BTreeMap::new();
@@ -88,7 +110,9 @@ pub fn ipac_plan(
     migration_list.extend_from_slice(new_items);
 
     // Place the overload/new list (no policy: feasibility restoration).
+    let mut stats = IpacStats::default();
     let first = pac_pack(&mut state, &migration_list, constraint, &cfg.minslack);
+    stats.search_ns += first.search_ns;
 
     // Anything unplaceable returns home (accepting temporary CPU overload)
     // so the data center stays consistent. Care: PAC may have just packed
@@ -188,6 +212,7 @@ pub fn ipac_plan(
             .cloned()
             .collect();
         let res = pac_pack(&mut others, &drained, constraint, &cfg.minslack);
+        stats.search_ns += res.search_ns;
 
         let mut revert = !res.is_complete();
         let mut round_moves: Vec<Move> = Vec::new();
@@ -233,7 +258,7 @@ pub fn ipac_plan(
     }
 
     // --- Step 3: diff into a plan -------------------------------------------
-    build_plan(servers, &state, &origin)
+    (build_plan(servers, &state, &origin), stats)
 }
 
 /// Diff the packed state against the input snapshot.

@@ -13,6 +13,35 @@
 //! * **step budget** (lines 15–17): if the search exceeds its step budget,
 //!   `ε` is increased by one step, making the early exit progressively
 //!   easier until the search terminates.
+//!
+//! # Root-partitioned search
+//!
+//! The search space is partitioned by **root**: root `r` covers exactly the
+//! subsets whose largest chosen item is the `r`-th in the largest-first
+//! order. Each root is explored by an independent depth-first descent with
+//! its own ε ladder and step budget, and the overall winner is picked by a
+//! rule that looks only at per-root outcomes in index order:
+//!
+//! 1. the lowest-index root whose descent hit the ε early exit, if any
+//!    (sequentially this means later roots are never explored at all);
+//! 2. otherwise the root with the best fill (ties to the lowest index).
+//!
+//! Every root's descent is seeded with the **greedy first fill** (walk the
+//! largest-first order once, take whatever is admitted) as its incumbent
+//! best. The seed is a pure function of the inputs — identical on every
+//! worker — and it is what makes the partitioned search affordable: a root
+//! whose subtree cannot beat the greedy fill is cut by the suffix-sum
+//! bound after a single constraint evaluation. If the greedy fill already
+//! sits within ε the sweep never starts at all.
+//!
+//! Because roots share no *mutable* search state, the sweep can fan out over
+//! [`MinSlackConfig::shards`] worker threads and still return bit-identical
+//! results at every shard count: each root's outcome is a pure function of
+//! the inputs, and the winner rule is a deterministic index-order fold.
+//! Workers scan contiguous root ranges and stop at the first qualifying
+//! root in their range; every root below the global winner is therefore
+//! explored under any partitioning, which keeps the step/relaxation
+//! accounting shard-invariant too.
 
 use crate::constraint::Constraint;
 use crate::item::{PackItem, PackServer};
@@ -25,11 +54,17 @@ pub struct MinSlackConfig {
     /// Increment applied to ε each time the step budget is exhausted
     /// (line 16 of Algorithm 1).
     pub epsilon_step_ghz: f64,
-    /// Constraint evaluations allowed between ε relaxations.
+    /// Constraint evaluations allowed between ε relaxations for the whole
+    /// search. The budget is divided evenly across the roots (with a small
+    /// floor per root), so a sweep over many roots relaxes on the same
+    /// overall schedule as a single undivided search would.
     pub step_budget: u64,
-    /// Hard cap on relaxations; after this many the best subset found so
-    /// far is returned regardless of slack.
+    /// Hard cap on relaxations per root branch; a root past this cap
+    /// abandons its descent and reports the best subset it saw.
     pub max_relaxations: u32,
+    /// Worker threads for the root sweep (`1` = inline). The result is
+    /// bit-identical at every value; small inputs stay inline regardless.
+    pub shards: usize,
 }
 
 impl Default for MinSlackConfig {
@@ -39,9 +74,19 @@ impl Default for MinSlackConfig {
             epsilon_step_ghz: 0.1,
             step_budget: 20_000,
             max_relaxations: 16,
+            shards: 1,
         }
     }
 }
+
+/// Below this many roots the sweep always runs inline: thread spawn costs
+/// more than the whole search.
+const FAN_OUT_MIN_ROOTS: usize = 64;
+
+/// Every root keeps at least this many steps per ε rung, however many
+/// roots share [`MinSlackConfig::step_budget`]: a descent needs a little
+/// room to reach an improving leaf before the ladder moves.
+const ROOT_BUDGET_FLOOR: u64 = 32;
 
 /// Outcome of one Minimum Slack search.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,51 +95,64 @@ pub struct MinSlackResult {
     pub chosen: Vec<usize>,
     /// Remaining unallocated CPU on the server with the chosen set (GHz).
     pub slack_ghz: f64,
-    /// Constraint evaluations performed.
+    /// Constraint evaluations performed (roots up to the winner).
     pub steps: u64,
-    /// Number of ε relaxations taken.
+    /// Number of ε relaxations taken (roots up to the winner).
     pub relaxations: u32,
 }
 
-struct SearchState<'a> {
+/// What one root's descent reported. Outcomes travel in root order, so
+/// the root index itself never needs to be carried.
+#[derive(Debug, Clone)]
+struct RootOutcome {
+    /// Best subset seen in this root's subtree (indices into `q`).
+    chosen: Vec<usize>,
+    /// CPU of `chosen` (GHz), summed along the descent path.
+    chosen_cpu: f64,
+    steps: u64,
+    relaxations: u32,
+    /// Whether the descent ended via the ε early exit.
+    qualified: bool,
+}
+
+/// One root's depth-first descent: subsets containing `sorted[root]` as
+/// their largest item, explored largest-first with suffix-sum pruning.
+struct RootSearch<'a> {
     server: &'a PackServer,
-    constraint: &'a dyn Constraint,
-    sorted: Vec<usize>,
+    constraint: &'a (dyn Constraint + Sync),
+    sorted: &'a [usize],
     items: &'a [PackItem],
     /// Suffix sums of CPU over `sorted` for bound pruning.
-    suffix_cpu: Vec<f64>,
+    suffix_cpu: &'a [f64],
+    target: f64,
     stack: Vec<PackItem>,
     stack_idx: Vec<usize>,
+    /// Best subset seen so far — seeded with the greedy first fill.
     best: Vec<usize>,
     best_cpu: f64,
     steps: u64,
     epsilon: f64,
     relaxations: u32,
+    /// This root's share of [`MinSlackConfig::step_budget`].
+    budget: u64,
     cfg: MinSlackConfig,
     done: bool,
+    qualified: bool,
 }
 
-impl SearchState<'_> {
-    fn current_cpu(&self) -> f64 {
-        self.stack.iter().map(|i| i.cpu_ghz).sum()
-    }
-
-    fn target_cpu(&self) -> f64 {
-        self.server.cpu_capacity_ghz - self.server.resident_cpu()
-    }
-
-    fn dfs(&mut self, pos: usize) {
+impl RootSearch<'_> {
+    fn dfs(&mut self, pos: usize, chosen_cpu: f64) {
         if self.done {
             return;
         }
-        let chosen_cpu = self.current_cpu();
         if chosen_cpu > self.best_cpu {
             self.best_cpu = chosen_cpu;
             self.best = self.stack_idx.clone();
         }
         // Early exit: slack below ε (line 4/5 of Algorithm 1).
-        if self.target_cpu() - self.best_cpu <= self.epsilon {
+        if self.target - self.best_cpu <= self.epsilon {
             self.done = true;
+            self.qualified = true;
             return;
         }
         // Bound: even taking every remaining item cannot beat the best.
@@ -105,13 +163,13 @@ impl SearchState<'_> {
             let item = self.items[self.sorted[i]];
             // Quick reject: obviously over CPU (cheap pre-filter before the
             // general constraint).
-            if chosen_cpu + item.cpu_ghz > self.target_cpu() + 1e-9 {
+            if chosen_cpu + item.cpu_ghz > self.target + 1e-9 {
                 continue;
             }
             self.stack.push(item);
             self.stack_idx.push(self.sorted[i]);
             self.steps += 1;
-            if self.steps.is_multiple_of(self.cfg.step_budget) {
+            if self.steps.is_multiple_of(self.budget) {
                 // Line 15–17: the search is taking too long — relax ε.
                 self.relaxations += 1;
                 if self.relaxations > self.cfg.max_relaxations {
@@ -122,7 +180,7 @@ impl SearchState<'_> {
             }
             let admitted = self.constraint.admits(self.server, &self.stack);
             if admitted {
-                self.dfs(i + 1);
+                self.dfs(i + 1, chosen_cpu + item.cpu_ghz);
             }
             self.stack.pop();
             self.stack_idx.pop();
@@ -133,12 +191,96 @@ impl SearchState<'_> {
     }
 }
 
+/// Shared, read-only context of one `minimum_slack` call: what every root
+/// descent (on any worker thread) needs.
+struct SweepCtx<'a> {
+    server: &'a PackServer,
+    constraint: &'a (dyn Constraint + Sync),
+    items: &'a [PackItem],
+    sorted: &'a [usize],
+    suffix_cpu: &'a [f64],
+    target: f64,
+    cfg: MinSlackConfig,
+    /// Per-root share of the step budget (identical for every root).
+    root_budget: u64,
+    /// The greedy first fill (indices into `items`) and its CPU: the
+    /// incumbent every root descent starts from.
+    seed: &'a [usize],
+    seed_cpu: f64,
+}
+
+impl SweepCtx<'_> {
+    /// Explore one root subtree to completion (early exit, exhaustion, or
+    /// relaxation cap). Pure: depends only on the context and `root`.
+    fn search_root(&self, root: usize) -> RootOutcome {
+        let empty = |steps: u64| RootOutcome {
+            chosen: Vec::new(),
+            chosen_cpu: 0.0,
+            steps,
+            relaxations: 0,
+            qualified: false,
+        };
+        let item = self.items[self.sorted[root]];
+        if item.cpu_ghz > self.target + 1e-9 {
+            // Quick reject at the root: nothing in this subtree fits.
+            return empty(0);
+        }
+        let mut st = RootSearch {
+            server: self.server,
+            constraint: self.constraint,
+            sorted: self.sorted,
+            items: self.items,
+            suffix_cpu: self.suffix_cpu,
+            target: self.target,
+            stack: vec![item],
+            stack_idx: vec![self.sorted[root]],
+            best: self.seed.to_vec(),
+            best_cpu: self.seed_cpu,
+            steps: 1,
+            epsilon: self.cfg.epsilon_ghz.max(0.0),
+            relaxations: 0,
+            budget: self.root_budget,
+            cfg: self.cfg,
+            done: false,
+            qualified: false,
+        };
+        if !self.constraint.admits(self.server, &st.stack) {
+            return empty(1);
+        }
+        st.dfs(root + 1, item.cpu_ghz);
+        RootOutcome {
+            chosen: st.best,
+            chosen_cpu: st.best_cpu,
+            steps: st.steps,
+            relaxations: st.relaxations,
+            qualified: st.qualified,
+        }
+    }
+
+    /// Scan roots `lo..hi` in order, stopping after the first qualifying
+    /// root (no later root in the range can win the index-order selection).
+    fn sweep_range(&self, lo: usize, hi: usize) -> Vec<RootOutcome> {
+        let mut out = Vec::new();
+        for root in lo..hi {
+            let o = self.search_root(root);
+            let stop = o.qualified;
+            out.push(o);
+            if stop {
+                break;
+            }
+        }
+        out
+    }
+}
+
 /// Run Algorithm 1: select from `q` the subset that best fills `server`
 /// under `constraint`.
 ///
 /// Items in `q` with zero CPU demand still participate (they may consume
 /// other resources); an empty `q` or an already-full server returns an
-/// empty selection.
+/// empty selection. With [`MinSlackConfig::shards`] > 1 the root sweep
+/// fans out over that many worker threads; the result is bit-identical at
+/// every shard count.
 ///
 /// # Examples
 ///
@@ -163,9 +305,22 @@ impl SearchState<'_> {
 pub fn minimum_slack(
     server: &PackServer,
     q: &[PackItem],
-    constraint: &dyn Constraint,
+    constraint: &(dyn Constraint + Sync),
     cfg: &MinSlackConfig,
 ) -> MinSlackResult {
+    let target = server.cpu_capacity_ghz - server.resident_cpu();
+    let epsilon0 = cfg.epsilon_ghz.max(0.0);
+    if q.is_empty() || target <= epsilon0 {
+        // Nothing to choose from, or the server is already within ε of
+        // full: the empty selection wins immediately.
+        return MinSlackResult {
+            chosen: Vec::new(),
+            slack_ghz: target,
+            steps: 0,
+            relaxations: 0,
+        };
+    }
+
     // Largest-first ordering makes the greedy first descent strong and the
     // suffix bound tight (the MBS paper sorts decreasing as well).
     let mut sorted: Vec<usize> = (0..q.len()).collect();
@@ -179,29 +334,129 @@ pub fn minimum_slack(
     for i in (0..sorted.len()).rev() {
         suffix_cpu[i] = suffix_cpu[i + 1] + q[sorted[i]].cpu_ghz;
     }
-    let mut st = SearchState {
+
+    // Greedy first fill: one largest-first pass taking whatever the
+    // constraint admits. This is the incumbent seeded into every root
+    // descent, and with ε > 0 it very often already qualifies.
+    let mut greedy_idx: Vec<usize> = Vec::new();
+    let mut greedy_stack: Vec<PackItem> = Vec::new();
+    let mut greedy_cpu = 0.0;
+    let mut greedy_steps = 0u64;
+    for &qi in &sorted {
+        let item = q[qi];
+        if greedy_cpu + item.cpu_ghz > target + 1e-9 {
+            continue;
+        }
+        greedy_stack.push(item);
+        greedy_steps += 1;
+        if constraint.admits(server, &greedy_stack) {
+            greedy_idx.push(qi);
+            greedy_cpu += item.cpu_ghz;
+        } else {
+            greedy_stack.pop();
+        }
+    }
+    // Three cheap exits, all pure functions of the inputs (so identical at
+    // every shard count): the greedy fill already qualifies; the greedy
+    // fill admitted the whole pool, so no subset can beat it; or even a
+    // perfect pack of the whole pool stays outside the fully-relaxed ε, so
+    // no ladder ever qualifies and the branch-and-bound would only burn
+    // its budget rediscovering the greedy fill.
+    let final_epsilon = epsilon0 + cfg.max_relaxations as f64 * cfg.epsilon_step_ghz.max(0.0);
+    if target - greedy_cpu <= epsilon0
+        || greedy_idx.len() == sorted.len()
+        || target - suffix_cpu[0] > final_epsilon
+    {
+        return MinSlackResult {
+            chosen: greedy_idx,
+            slack_ghz: target - greedy_cpu,
+            steps: greedy_steps,
+            relaxations: 0,
+        };
+    }
+
+    let roots = sorted.len();
+    let fan = if roots >= FAN_OUT_MIN_ROOTS {
+        cfg.shards.max(1).min(roots)
+    } else {
+        1
+    };
+    let ctx = SweepCtx {
         server,
         constraint,
-        sorted,
         items: q,
-        suffix_cpu,
-        stack: Vec::new(),
-        stack_idx: Vec::new(),
-        best: Vec::new(),
-        best_cpu: 0.0,
-        steps: 0,
-        epsilon: cfg.epsilon_ghz.max(0.0),
-        relaxations: 0,
+        sorted: &sorted,
+        suffix_cpu: &suffix_cpu,
+        target,
         cfg: *cfg,
-        done: false,
+        root_budget: (cfg.step_budget / roots as u64).max(ROOT_BUDGET_FLOOR),
+        seed: &greedy_idx,
+        seed_cpu: greedy_cpu,
     };
-    st.dfs(0);
-    let slack = st.target_cpu() - st.best_cpu;
-    MinSlackResult {
-        chosen: st.best,
-        slack_ghz: slack,
-        steps: st.steps,
-        relaxations: st.relaxations,
+
+    let outcomes: Vec<RootOutcome> = if fan <= 1 {
+        ctx.sweep_range(0, roots)
+    } else {
+        // Contiguous root ranges, one per worker (same partitioning rule as
+        // the replay's shard module): the first `roots % fan` ranges get one
+        // extra root.
+        let base = roots / fan;
+        let rem = roots % fan;
+        let mut ranges = Vec::with_capacity(fan);
+        let mut start = 0;
+        for k in 0..fan {
+            let len = base + usize::from(k < rem);
+            ranges.push((start, start + len));
+            start += len;
+        }
+        let ctx_ref = &ctx;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|(lo, hi)| scope.spawn(move || ctx_ref.sweep_range(lo, hi)))
+                .collect();
+            let mut all = Vec::with_capacity(roots);
+            for h in handles {
+                all.extend(h.join().expect("minslack worker panicked"));
+            }
+            all
+        })
+    };
+
+    // Index-order winner selection. Outcomes arrive sorted by root: workers
+    // scan their ranges in order, and a range before the winning one can
+    // only have stopped early if it found a qualifying (winning) root
+    // itself — so every root before the winner is present and counted.
+    let mut steps = greedy_steps;
+    let mut relaxations = 0;
+    let mut winner: Option<&RootOutcome> = None;
+    let mut fallback: Option<&RootOutcome> = None;
+    for o in &outcomes {
+        steps += o.steps;
+        relaxations += o.relaxations;
+        if o.qualified {
+            winner = Some(o);
+            break;
+        }
+        if fallback.is_none_or(|f| o.chosen_cpu > f.chosen_cpu) {
+            fallback = Some(o);
+        }
+    }
+    match winner.or(fallback) {
+        Some(w) => MinSlackResult {
+            chosen: w.chosen.clone(),
+            slack_ghz: target - w.chosen_cpu,
+            steps,
+            relaxations,
+        },
+        // Every root was quick-rejected: the greedy fill (also empty in
+        // that case, since nothing fits) is all there is.
+        None => MinSlackResult {
+            chosen: greedy_idx,
+            slack_ghz: target - greedy_cpu,
+            steps,
+            relaxations,
+        },
     }
 }
 
@@ -344,6 +599,7 @@ mod tests {
                 epsilon_step_ghz: 0.05,
                 step_budget: 50,
                 max_relaxations: 8,
+                shards: 1,
             },
         );
         assert!(r.relaxations >= 1);
@@ -390,5 +646,43 @@ mod tests {
         let a = minimum_slack(&s, &q, &c, &MinSlackConfig::default());
         let b = minimum_slack(&s, &q, &c, &MinSlackConfig::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_selection() {
+        // Enough items to clear the fan-out threshold, awkward sizes so
+        // several roots get explored before one qualifies.
+        let s = server(12.0, 1e9);
+        let mut cpus = Vec::new();
+        for i in 0..96 {
+            cpus.push(0.37 + 0.11 * ((i * 7 % 13) as f64));
+        }
+        let q = items(&cpus);
+        let c = AndConstraint::cpu_and_memory();
+        let base = minimum_slack(
+            &s,
+            &q,
+            &c,
+            &MinSlackConfig {
+                epsilon_ghz: 0.0,
+                ..Default::default()
+            },
+        );
+        for shards in [2usize, 3, 8, 33] {
+            let r = minimum_slack(
+                &s,
+                &q,
+                &c,
+                &MinSlackConfig {
+                    epsilon_ghz: 0.0,
+                    shards,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(r.chosen, base.chosen, "shards={shards}");
+            assert_eq!(r.slack_ghz.to_bits(), base.slack_ghz.to_bits());
+            assert_eq!(r.steps, base.steps);
+            assert_eq!(r.relaxations, base.relaxations);
+        }
     }
 }

@@ -40,6 +40,11 @@ pub struct PacResult {
     pub unplaced: Vec<VmId>,
     /// Total Minimum Slack steps spent (for overhead accounting).
     pub total_steps: u64,
+    /// Wall time spent inside the Minimum Slack root sweeps (ns). This is
+    /// the portion of the pack that fans out over
+    /// [`MinSlackConfig::shards`] workers; the commit loop between sweeps
+    /// stays sequential. Timing only — never feeds back into decisions.
+    pub search_ns: u64,
 }
 
 impl PacResult {
@@ -57,7 +62,7 @@ impl PacResult {
 pub fn pac_pack(
     servers: &mut [PackServer],
     items: &[PackItem],
-    constraint: &dyn Constraint,
+    constraint: &(dyn Constraint + Sync),
     cfg: &MinSlackConfig,
 ) -> PacResult {
     let mut order: Vec<usize> = (0..servers.len()).collect();
@@ -72,12 +77,15 @@ pub fn pac_pack(
     let mut remaining: Vec<PackItem> = items.to_vec();
     let mut assignments = Vec::with_capacity(items.len());
     let mut total_steps = 0;
+    let mut search_ns = 0u64;
 
     for &si in &order {
         if remaining.is_empty() {
             break;
         }
+        let t = std::time::Instant::now();
         let result = minimum_slack(&servers[si], &remaining, constraint, cfg);
+        search_ns += t.elapsed().as_nanos() as u64;
         total_steps += result.steps;
         if result.chosen.is_empty() {
             continue;
@@ -96,6 +104,7 @@ pub fn pac_pack(
         assignments,
         unplaced: remaining.iter().map(|i| i.vm).collect(),
         total_steps,
+        search_ns,
     }
 }
 

@@ -1,40 +1,57 @@
 //! Bridging between [`vdc_dcsim::DataCenter`] state and the packing layer.
 //!
 //! The consolidation algorithms work on [`PackServer`] snapshots; this
-//! module builds those snapshots from live data-center state and executes
-//! the resulting [`ConsolidationPlan`] (wake → migrate/place → sleep, in
-//! dependency order).
+//! module builds those snapshots from live data-center state (or from a
+//! copy-on-write [`vdc_dcsim::Snapshot`], which shard workers can walk
+//! without borrowing the live simulation) and executes the resulting
+//! [`ConsolidationPlan`] (wake → migrate/place → sleep, in dependency
+//! order). Plans speak the external vocabulary — [`vdc_dcsim::VmId`]
+//! labels and server indices — so this module is also where labels are
+//! translated to arena handles.
 
 use crate::item::{PackItem, PackServer};
 use crate::plan::ConsolidationPlan;
-use vdc_dcsim::{DataCenter, DcError};
+use vdc_dcsim::{DataCenter, DcError, ServerHandle, Snapshot};
 
 /// Snapshot every server of the data center as a [`PackServer`], with its
 /// currently hosted VMs as residents.
 pub fn snapshot(dc: &DataCenter) -> Vec<PackServer> {
-    (0..dc.n_servers())
-        .map(|i| {
-            let server = dc.server(i).expect("index in range");
-            let resident = dc
-                .hosted_vms(i)
-                .expect("index in range")
-                .iter()
-                .map(|&vm| {
-                    let spec = dc.vm(vm).expect("hosted VM is registered");
-                    PackItem::new(vm, spec.cpu_demand_ghz, spec.memory_mib)
-                })
-                .collect();
-            PackServer {
-                index: i,
-                cpu_capacity_ghz: server.spec.max_capacity_ghz(),
-                mem_capacity_mib: server.spec.memory_mib,
-                max_watts: server.spec.power.max_watts,
-                idle_watts: server.spec.power.static_watts,
-                active: server.is_active(),
-                resident,
-            }
-        })
+    snapshot_view(&dc.snapshot())
+}
+
+/// Build the packing view from a copy-on-write state snapshot. Identical
+/// output to [`snapshot`]; this form lets shard workers build disjoint
+/// server ranges of the view concurrently while the caller keeps the
+/// `Snapshot` alive.
+pub fn snapshot_view(view: &Snapshot) -> Vec<PackServer> {
+    (0..view.n_servers())
+        .map(|i| pack_server(view, ServerHandle::from_index(i)))
         .collect()
+}
+
+/// Build the [`PackServer`] for one server of a snapshot — the per-element
+/// unit of work when the view construction is sharded.
+pub fn pack_server(view: &Snapshot, server: ServerHandle) -> PackServer {
+    let srv = view.server(server).expect("index in range");
+    let resident = view
+        .hosted_vms(server)
+        .expect("index in range")
+        .iter()
+        .map(|&vm| {
+            let spec = view.vm(vm).expect("hosted VM is registered");
+            let demand = view.vm_demand(vm).expect("hosted VM is registered");
+            PackItem::new(spec.id, demand, spec.memory_mib)
+        })
+        .collect();
+    PackServer {
+        index: server.index(),
+        cpu_capacity_ghz: srv.spec.max_capacity_ghz(),
+        mem_capacity_mib: srv.spec.memory_mib,
+        max_watts: srv.spec.power.max_watts,
+        idle_watts: srv.spec.power.static_watts,
+        active: srv.is_active(),
+        resident,
+    }
 }
 
 /// Statistics of one plan application.
@@ -62,22 +79,27 @@ pub struct ApplyStats {
 /// rather than failing the whole plan.
 pub fn apply_plan(dc: &mut DataCenter, plan: &ConsolidationPlan) -> Result<ApplyStats, DcError> {
     let mut stats = ApplyStats::default();
+    let resolve =
+        |dc: &DataCenter, id: vdc_dcsim::VmId| dc.lookup(id).ok_or(DcError::UnknownVm(id.0));
     for &s in &plan.servers_to_wake {
-        dc.wake_server(s)?;
+        dc.wake_server(ServerHandle::from_index(s))?;
         stats.woken += 1;
     }
     // Detach every migrating VM first.
     for mv in &plan.moves {
         if mv.from.is_some() {
-            dc.unplace_vm(mv.vm)?;
+            let h = resolve(dc, mv.vm)?;
+            dc.unplace_vm(h)?;
         }
     }
     // Attach everything at its destination.
     for mv in &plan.moves {
-        dc.place_vm(mv.vm, mv.to)?;
+        let h = resolve(dc, mv.vm)?;
+        let to = ServerHandle::from_index(mv.to);
+        dc.place_vm(h, to)?;
         match mv.from {
             Some(from) => {
-                let rec = dc.note_migration(mv.vm, from, mv.to)?;
+                let rec = dc.note_migration(h, ServerHandle::from_index(from), to)?;
                 stats.migrations += 1;
                 stats.migrated_mib += rec.memory_mib;
             }
@@ -85,8 +107,9 @@ pub fn apply_plan(dc: &mut DataCenter, plan: &ConsolidationPlan) -> Result<Apply
         }
     }
     for &s in &plan.servers_to_sleep {
-        if dc.hosted_vms(s)?.is_empty() {
-            dc.sleep_server(s)?;
+        let h = ServerHandle::from_index(s);
+        if dc.hosted_vms(h)?.is_empty() {
+            dc.sleep_server(h)?;
             stats.slept += 1;
         }
     }
@@ -109,11 +132,15 @@ mod tests {
         dc
     }
 
+    fn srv(i: usize) -> ServerHandle {
+        ServerHandle::from_index(i)
+    }
+
     #[test]
     fn snapshot_reflects_state() {
         let mut dc = testbed();
-        dc.add_vm(VmSpec::new(1, 1.5, 1024.0)).unwrap();
-        dc.place_vm(VmId(1), 1).unwrap();
+        let h = dc.add_vm(VmSpec::new(1, 1.5, 1024.0)).unwrap();
+        dc.place_vm(h, srv(1)).unwrap();
         let snap = snapshot(&dc);
         assert_eq!(snap.len(), 3);
         assert_eq!(snap[0].cpu_capacity_ghz, 12.0);
@@ -125,13 +152,23 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_reads_live_demand_not_registration_demand() {
+        let mut dc = testbed();
+        let h = dc.add_vm(VmSpec::new(1, 1.5, 1024.0)).unwrap();
+        dc.place_vm(h, srv(0)).unwrap();
+        dc.set_vm_demand(h, 2.25).unwrap();
+        let snap = snapshot(&dc);
+        assert_eq!(snap[0].resident[0].cpu_ghz, 2.25);
+    }
+
+    #[test]
     fn ipac_plan_applies_cleanly_end_to_end() {
         let mut dc = testbed();
         // Spread VMs over the two active servers, inefficiently.
-        dc.add_vm(VmSpec::new(1, 1.0, 1024.0)).unwrap();
-        dc.add_vm(VmSpec::new(2, 1.0, 1024.0)).unwrap();
-        dc.place_vm(VmId(1), 0).unwrap();
-        dc.place_vm(VmId(2), 1).unwrap();
+        let a = dc.add_vm(VmSpec::new(1, 1.0, 1024.0)).unwrap();
+        let b = dc.add_vm(VmSpec::new(2, 1.0, 1024.0)).unwrap();
+        dc.place_vm(a, srv(0)).unwrap();
+        dc.place_vm(b, srv(1)).unwrap();
         let before_power = {
             dc.apply_dvfs(false).unwrap();
             dc.total_power_watts()
@@ -153,14 +190,14 @@ mod tests {
             "consolidation must cut power: {after_power} vs {before_power}"
         );
         // Both VMs now live on server 0.
-        assert_eq!(dc.placement_of(VmId(1)), Some(0));
-        assert_eq!(dc.placement_of(VmId(2)), Some(0));
+        assert_eq!(dc.placement_of(a), Some(srv(0)));
+        assert_eq!(dc.placement_of(b), Some(srv(0)));
     }
 
     #[test]
     fn plan_with_initial_placements() {
         let mut dc = testbed();
-        dc.add_vm(VmSpec::new(1, 2.0, 1024.0)).unwrap();
+        let h = dc.add_vm(VmSpec::new(1, 2.0, 1024.0)).unwrap();
         let plan = ipac_plan(
             &snapshot(&dc),
             &[PackItem::new(VmId(1), 2.0, 1024.0)],
@@ -170,14 +207,14 @@ mod tests {
         );
         let stats = apply_plan(&mut dc, &plan).unwrap();
         assert_eq!(stats.placements, 1);
-        assert_eq!(dc.placement_of(VmId(1)), Some(0));
+        assert_eq!(dc.placement_of(h), Some(srv(0)));
     }
 
     #[test]
     fn sleep_skipped_if_server_not_empty() {
         let mut dc = testbed();
-        dc.add_vm(VmSpec::new(1, 1.0, 1024.0)).unwrap();
-        dc.place_vm(VmId(1), 0).unwrap();
+        let h = dc.add_vm(VmSpec::new(1, 1.0, 1024.0)).unwrap();
+        dc.place_vm(h, srv(0)).unwrap();
         let plan = ConsolidationPlan {
             moves: vec![],
             servers_to_sleep: vec![0],
@@ -185,6 +222,6 @@ mod tests {
         };
         let stats = apply_plan(&mut dc, &plan).unwrap();
         assert_eq!(stats.slept, 0);
-        assert!(dc.server(0).unwrap().is_active());
+        assert!(dc.server(srv(0)).unwrap().is_active());
     }
 }

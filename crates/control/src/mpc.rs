@@ -187,6 +187,9 @@ pub struct MpcController {
     /// `crate::observer` (use `DisturbanceKalman::new(..).gain()` to derive
     /// it from noise variances).
     disturbance_gain: f64,
+    /// Number of dynamic-matrix rebuilds since construction (the cache
+    /// generation of Ψ; see [`MpcController::predictor_generation`]).
+    generation: u64,
     /// Observability sink (disabled by default; see [`MpcController::set_telemetry`]).
     telemetry: Telemetry,
 }
@@ -219,6 +222,7 @@ impl MpcController {
             c_current,
             disturbance: 0.0,
             disturbance_gain: 1.0,
+            generation: 0,
             telemetry: Telemetry::disabled(),
         })
     }
@@ -298,13 +302,30 @@ impl MpcController {
         &self.telemetry
     }
 
+    /// The cache generation of the dynamic matrix Ψ: the number of true
+    /// predictor rebuilds since construction. Stays flat across
+    /// [`update_model`](MpcController::update_model) calls that hand back
+    /// an unchanged model and across bounds/allocation edits, which never
+    /// touch Ψ.
+    pub fn predictor_generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Replace the model (e.g. after an RLS update) and rebuild the
     /// dynamic matrix. Histories are preserved where possible.
+    ///
+    /// Ψ depends only on the model and the horizons, so a replacement
+    /// equal to the current model (a sysid refresh that converged) keeps
+    /// the cached predictor: no rebuild, no
+    /// `mpc.predictor_rebuild_ns`/`mpc.model_rebuilds` activity.
     pub fn update_model(&mut self, model: ArxModel) -> Result<()> {
         if model.n_inputs() != self.model.n_inputs() {
             return Err(ControlError::BadDimensions(
                 "replacement model has different input count".into(),
             ));
+        }
+        if model == self.model {
+            return Ok(());
         }
         let rebuild_span = self.telemetry.timer("mpc.predictor_rebuild_ns");
         self.psi = build_dynamic_matrix(
@@ -314,6 +335,7 @@ impl MpcController {
         )?;
         rebuild_span.finish();
         self.telemetry.incr("mpc.model_rebuilds", 1);
+        self.generation += 1;
         while self.c_hist.len() < model.nb() {
             self.c_hist.push(
                 self.c_hist
@@ -325,6 +347,56 @@ impl MpcController {
         self.c_hist.truncate(model.nb().max(1));
         self.model = model;
         Ok(())
+    }
+
+    /// Replace the per-channel allocation box in place.
+    ///
+    /// State resets exactly as a rebuild at the current allocation would —
+    /// `c_current` clamped into the new box, histories re-seeded,
+    /// disturbance cleared — but the cached dynamic matrix Ψ survives: it
+    /// depends only on the model and the horizons, never on bounds.
+    pub fn set_allocation_bounds(&mut self, c_min: Vec<f64>, c_max: Vec<f64>) -> Result<()> {
+        let m = self.model.n_inputs();
+        let mut cfg = self.cfg.clone();
+        cfg.c_min = c_min;
+        cfg.c_max = c_max;
+        cfg.validate(m)?;
+        self.cfg = cfg;
+        let c0 = self.c_current.clone();
+        self.reset_state(&c0);
+        Ok(())
+    }
+
+    /// Force the applied allocation to `alloc` (clamped into the box) and
+    /// reset histories and the disturbance estimate — the
+    /// starvation-watchdog path. Keeps the cached dynamic matrix Ψ.
+    pub fn force_allocation(&mut self, alloc: &[f64]) -> Result<()> {
+        let m = self.model.n_inputs();
+        if alloc.len() != m {
+            return Err(ControlError::BadDimensions(format!(
+                "forced allocation has {} entries, model has {m} inputs",
+                alloc.len()
+            )));
+        }
+        self.reset_state(alloc);
+        Ok(())
+    }
+
+    /// Re-seed the controller state at allocation `c0` the way
+    /// [`new`](MpcController::new) does, leaving the model, config, Ψ,
+    /// disturbance gain, and telemetry sink untouched.
+    fn reset_state(&mut self, c0: &[f64]) {
+        let mut c_current = c0.to_vec();
+        for (c, (&lo, &hi)) in c_current
+            .iter_mut()
+            .zip(self.cfg.c_min.iter().zip(&self.cfg.c_max))
+        {
+            *c = c.clamp(lo, hi);
+        }
+        self.c_hist = vec![c_current.clone(); self.model.nb()];
+        self.c_current = c_current;
+        self.t_hist.clear();
+        self.disturbance = 0.0;
     }
 
     /// Feed the response-time measurement for the period that just ended and
@@ -789,6 +861,88 @@ mod tests {
         // Input-count mismatch rejected.
         let wrong = ArxModel::new(vec![0.3], vec![vec![-250.0]], 1300.0).unwrap();
         assert!(ctrl.update_model(wrong).is_err());
+    }
+
+    #[test]
+    fn unchanged_model_keeps_cached_predictor() {
+        let model = plant_model();
+        let cfg = default_cfg(1000.0);
+        let mut ctrl = MpcController::new(model.clone(), cfg, &[1.0, 1.0]).unwrap();
+        let telemetry = Telemetry::enabled();
+        ctrl.set_telemetry(telemetry.clone());
+        assert_eq!(ctrl.predictor_generation(), 0);
+        // A sysid refresh that converged to the same coefficients: cache hit.
+        ctrl.update_model(model.clone()).unwrap();
+        ctrl.update_model(model).unwrap();
+        assert_eq!(ctrl.predictor_generation(), 0);
+        let rebuilds = |t: &Telemetry| {
+            t.counter_values()
+                .into_iter()
+                .find(|(n, _)| n == "mpc.model_rebuilds")
+                .map(|(_, v)| v)
+                .unwrap_or(0)
+        };
+        assert_eq!(rebuilds(&telemetry), 0, "cache hits must not rebuild");
+        // A genuinely different model: cache miss, one rebuild.
+        let stronger = ArxModel::new(
+            vec![0.3],
+            vec![vec![-250.0, -150.0], vec![-80.0, -60.0]],
+            1300.0,
+        )
+        .unwrap();
+        ctrl.update_model(stronger).unwrap();
+        assert_eq!(ctrl.predictor_generation(), 1);
+        assert_eq!(rebuilds(&telemetry), 1);
+    }
+
+    #[test]
+    fn bounds_change_in_place_matches_full_rebuild() {
+        let model = plant_model();
+        let cfg = default_cfg(1000.0);
+        let mut in_place = MpcController::new(model.clone(), cfg.clone(), &[1.0, 1.0]).unwrap();
+        in_place
+            .set_allocation_bounds(vec![0.4, 0.4], vec![2.5, 2.5])
+            .unwrap();
+        assert_eq!(
+            in_place.predictor_generation(),
+            0,
+            "a bounds edit must not rebuild the predictor"
+        );
+        let mut narrowed = cfg;
+        narrowed.c_min = vec![0.4, 0.4];
+        narrowed.c_max = vec![2.5, 2.5];
+        let mut rebuilt = MpcController::new(model, narrowed, &[1.0, 1.0]).unwrap();
+        for t in [1800.0, 1500.0, 1200.0, 1100.0] {
+            let a = in_place.step(t).unwrap();
+            let b = rebuilt.step(t).unwrap();
+            for (x, y) in a.allocation.iter().zip(&b.allocation) {
+                assert_eq!(x.to_bits(), y.to_bits(), "in-place diverged at t={t}");
+            }
+        }
+        // Invalid boxes are rejected and leave the old bounds in force.
+        assert!(in_place
+            .set_allocation_bounds(vec![3.0, 3.0], vec![1.0, 1.0])
+            .is_err());
+        assert_eq!(in_place.config().c_min, vec![0.4, 0.4]);
+    }
+
+    #[test]
+    fn force_allocation_matches_full_rebuild() {
+        let model = plant_model();
+        let cfg = default_cfg(1000.0);
+        let mut in_place = MpcController::new(model.clone(), cfg.clone(), &[1.0, 1.0]).unwrap();
+        let _ = in_place.step(1900.0).unwrap();
+        in_place.force_allocation(&[2.2, 2.4]).unwrap();
+        assert_eq!(in_place.predictor_generation(), 0);
+        let mut rebuilt = MpcController::new(model, cfg, &[2.2, 2.4]).unwrap();
+        for t in [1400.0, 1200.0, 1050.0] {
+            let a = in_place.step(t).unwrap();
+            let b = rebuilt.step(t).unwrap();
+            for (x, y) in a.allocation.iter().zip(&b.allocation) {
+                assert_eq!(x.to_bits(), y.to_bits(), "forced state diverged at t={t}");
+            }
+        }
+        assert!(in_place.force_allocation(&[1.0]).is_err(), "length checked");
     }
 
     #[test]

@@ -175,19 +175,16 @@ impl ResponseTimeController {
         self.metric
     }
 
-    /// Override the per-tier allocation bounds (GHz).
+    /// Override the per-tier allocation bounds (GHz). The edit happens in
+    /// place: controller state resets as a rebuild would, but the MPC's
+    /// cached step-response matrix survives (it depends only on the model
+    /// and horizons). Invalid bounds are ignored, like the rebuild
+    /// failures before them.
     pub fn set_bounds(&mut self, c_min: f64, c_max: f64) {
-        // Rebuild via config access: MpcConfig fields are public.
         let n = self.mpc.model().n_inputs();
-        let model = self.mpc.model().clone();
-        let mut cfg = self.mpc.config().clone();
-        cfg.c_min = vec![c_min; n];
-        cfg.c_max = vec![c_max; n];
-        let c0 = self.mpc.current_allocation().to_vec();
-        if let Ok(mut mpc) = MpcController::new(model, cfg, &c0) {
-            mpc.set_telemetry(self.mpc.telemetry().clone());
-            self.mpc = mpc;
-        }
+        let _ = self
+            .mpc
+            .set_allocation_bounds(vec![c_min; n], vec![c_max; n]);
     }
 
     /// Control period (seconds).
@@ -266,15 +263,11 @@ impl ResponseTimeController {
     }
 
     fn force_allocation(&mut self, alloc: &[f64]) {
-        // Rebuild the MPC at the forced allocation, keeping the model and
-        // config; histories reset, which is acceptable after a starvation
-        // event (the old dynamics are stale anyway).
-        let model = self.mpc.model().clone();
-        let cfg = self.mpc.config().clone();
-        if let Ok(mut mpc) = MpcController::new(model, cfg, alloc) {
-            mpc.set_telemetry(self.mpc.telemetry().clone());
-            self.mpc = mpc;
-        }
+        // Reset the MPC state at the forced allocation, keeping the model,
+        // config, and cached predictor; histories reset, which is
+        // acceptable after a starvation event (the old dynamics are stale
+        // anyway).
+        let _ = self.mpc.force_allocation(alloc);
     }
 }
 

@@ -18,6 +18,7 @@
 
 use crate::controller::{identify_plant, IdentificationConfig, ResponseTimeController};
 use crate::optimizer::{OptimizerConfig, PowerOptimizer};
+use crate::run::RunOptions;
 use crate::{CoreError, Result};
 use vdc_apptier::rng::{seed_stream, SimRng};
 use vdc_apptier::{AnalyticPlant, Plant, WorkloadProfile};
@@ -25,7 +26,7 @@ use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::item::PackItem;
 use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
 use vdc_consolidate::view::apply_plan;
-use vdc_dcsim::{DataCenter, Server, ServerSpec, VmId, VmSpec};
+use vdc_dcsim::{DataCenter, Server, ServerSpec, VmHandle, VmSpec};
 use vdc_telemetry::Telemetry;
 use vdc_trace::UtilizationTrace;
 
@@ -105,7 +106,8 @@ struct App {
     static_alloc: Vec<f64>,
     /// Client population cap (peak concurrency).
     max_clients: usize,
-    vm_ids: [VmId; 2],
+    /// Arena handles of the two tier VMs.
+    vm_handles: [VmHandle; 2],
 }
 
 /// Advance one application through every control period of one trace
@@ -139,19 +141,37 @@ fn app_sample_periods(app: &mut App, cfg: &CosimConfig, period_s: f64) -> Result
 /// utilization scaled into `[2, max_clients]` — applications inherit the
 /// trace's diurnal/weekly structure while their CPU demands emerge from
 /// feedback control rather than being replayed.
-pub fn run_cosim(trace: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimResult> {
-    run_cosim_with_telemetry(trace, cfg, &Telemetry::disabled())
+///
+/// [`RunOptions`] carries the cross-cutting axes: a telemetry sink (per-app
+/// SLO accounting against `cfg.setpoint_ms`, MPC phase-split timings,
+/// optimizer invocation stats, per-server power samples, per-sample step
+/// cost, DVFS/wake/sleep transition counts — telemetry only observes,
+/// results are bit-identical; enforced by `tests/determinism.rs`) and a
+/// shard override (else `cfg.shards`). The power/response trajectories are
+/// part of [`CosimResult`] proper, so `capture_series` has no effect here.
+pub fn run_cosim(
+    trace: &UtilizationTrace,
+    cfg: &CosimConfig,
+    opts: &RunOptions<'_>,
+) -> Result<CosimResult> {
+    let telemetry = opts.telemetry();
+    run_cosim_impl(trace, cfg, opts, &telemetry)
 }
 
-/// [`run_cosim`] with an observability sink attached: per-app SLO
-/// accounting against `cfg.setpoint_ms`, MPC phase-split timings, optimizer
-/// invocation stats, per-server power samples, per-sample step cost, and
-/// DVFS/wake/sleep transition counts. Telemetry only observes — a run with
-/// an enabled sink produces bit-identical results to [`run_cosim`]
-/// (enforced by `tests/determinism.rs`).
+/// Superseded spelling of [`run_cosim`] with a telemetry sink.
+#[deprecated(note = "use run_cosim(trace, cfg, &RunOptions) with .with_telemetry()")]
 pub fn run_cosim_with_telemetry(
     trace: &UtilizationTrace,
     cfg: &CosimConfig,
+    telemetry: &Telemetry,
+) -> Result<CosimResult> {
+    run_cosim(trace, cfg, &RunOptions::default().with_telemetry(telemetry))
+}
+
+fn run_cosim_impl(
+    trace: &UtilizationTrace,
+    cfg: &CosimConfig,
+    opts: &RunOptions<'_>,
     telemetry: &Telemetry,
 ) -> Result<CosimResult> {
     if cfg.n_apps == 0 || cfg.n_apps > trace.n_vms() {
@@ -166,7 +186,7 @@ pub fn run_cosim_with_telemetry(
             "control and optimizer periods must be positive".into(),
         ));
     }
-    let shards = crate::shard::resolve(cfg.shards);
+    let shards = crate::shard::resolve(opts.shards_or(cfg.shards));
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let profile = WorkloadProfile::rubbos();
     let period_s = 900.0 / cfg.control_periods_per_sample as f64;
@@ -235,23 +255,25 @@ pub fn run_cosim_with_telemetry(
         let mut controller =
             ResponseTimeController::new(model.clone(), cfg.setpoint_ms, period_s, &c0)?;
         controller.set_telemetry(telemetry.clone());
-        let ids = [VmId((2 * a) as u64), VmId((2 * a + 1) as u64)];
-        for (tier, &vm) in ids.iter().enumerate() {
-            dc.add_vm(VmSpec::for_app(
-                vm.0,
+        let mut handles = [VmHandle::from_index(0); 2];
+        for tier in 0..2usize {
+            let spec = VmSpec::for_app(
+                (2 * a + tier) as u64,
                 a as u32,
                 tier as u32,
                 c0[tier],
                 1024.0,
-            ))?;
-            initial_items.push(PackItem::new(vm, c0[tier], 1024.0));
+            );
+            let id = spec.id;
+            handles[tier] = dc.add_vm(spec)?;
+            initial_items.push(PackItem::new(id, c0[tier], 1024.0));
         }
         apps.push(App {
             plant,
             controller,
             static_alloc: static_alloc.clone(),
             max_clients,
-            vm_ids: ids,
+            vm_handles: handles,
         });
     }
 
@@ -319,7 +341,7 @@ pub fn run_cosim_with_telemetry(
             } else {
                 &app.static_alloc
             };
-            for (tier, &vm) in app.vm_ids.iter().enumerate() {
+            for (tier, &vm) in app.vm_handles.iter().enumerate() {
                 dc.set_vm_demand(vm, alloc[tier])?;
             }
         }
@@ -376,10 +398,12 @@ pub fn run_cosim_with_telemetry(
         optimizer.total_migrations() + relief_migrations,
     );
 
+    // Label-ordered (VmId-sorted) iteration, matching the ascending-id
+    // order of the old lookup loop.
     let mut final_placements: Vec<(u64, usize)> = Vec::with_capacity(2 * cfg.n_apps);
-    for vm in 0..2 * cfg.n_apps as u64 {
-        if let Some(server) = dc.placement_of(VmId(vm)) {
-            final_placements.push((vm, server));
+    for (id, h) in dc.vm_handles() {
+        if let Some(server) = dc.placement_of(h) {
+            final_placements.push((id.0, server.index()));
         }
     }
 
@@ -409,6 +433,11 @@ pub fn run_cosim_with_telemetry(
 mod tests {
     use super::*;
     use vdc_trace::{generate_trace, TraceConfig};
+
+    /// Local shorthand: the quiet default-options run.
+    fn run_cosim(t: &UtilizationTrace, cfg: &CosimConfig) -> Result<CosimResult> {
+        super::run_cosim(t, cfg, &RunOptions::default())
+    }
 
     fn day_trace(n: usize, seed: u64) -> UtilizationTrace {
         generate_trace(&TraceConfig {

@@ -6,6 +6,7 @@
 
 use crate::controller::{identify_plant, IdentificationConfig, ResponseTimeController};
 use crate::largescale::{run_large_scale, LargeScaleConfig, LargeScaleResult, OptimizerKind};
+use crate::run::RunOptions;
 use crate::testbed::{Testbed, TestbedConfig};
 use crate::Result;
 use vdc_apptier::{AnalyticPlant, AppSim, Plant, WorkloadProfile};
@@ -384,57 +385,56 @@ impl Fig6Point {
     }
 }
 
+/// Configuration of the Fig. 6 sweep. Replaces the old
+/// `fig6`/`fig6_sharded`/`fig6_with_fleet`/`fig6_with_fleet_sharded`
+/// spellings with one value.
+#[derive(Debug, Clone)]
+pub struct Fig6Config {
+    /// Data-center sizes to sweep (number of VMs per point).
+    pub sizes: Vec<usize>,
+    /// Shared server-fleet size. `None` applies the paper ratio (3,000
+    /// servers for 5,415 VMs) to the largest swept size.
+    pub fleet: Option<usize>,
+    /// Shard count for the across-sizes fan-out (`0` = host parallelism).
+    pub shards: usize,
+}
+
+impl Fig6Config {
+    /// Sweep the given sizes with the paper-ratio fleet at host parallelism.
+    pub fn new(sizes: impl Into<Vec<usize>>) -> Fig6Config {
+        Fig6Config {
+            sizes: sizes.into(),
+            fleet: None,
+            shards: 0,
+        }
+    }
+}
+
 /// Fig. 6: energy per VM for IPAC vs pMapper across data-center sizes,
-/// parallelized across sizes on the [`crate::shard`] substrate.
+/// parallelized across sizes on the [`crate::shard`] substrate. Each swept
+/// size is one shard-map element; results come back in sweep order, so the
+/// output is identical for every shard count.
 ///
 /// Every size runs against the **same fixed server fleet** (the paper uses
 /// one pool of 3,000 simulated servers for all 54 data centers): small data
 /// centers occupy only the most power-efficient machines, large ones are
 /// forced onto less efficient types — which is what makes energy-per-VM
 /// rise with the VM count in Fig. 6.
-pub fn fig6(trace: &UtilizationTrace, sizes: &[usize]) -> Result<Vec<Fig6Point>> {
-    fig6_sharded(trace, sizes, 0)
-}
-
-/// [`fig6`] with an explicit shard count (`0` = host parallelism). Each
-/// swept size is one shard-map element; results come back in sweep order,
-/// so the output is identical for every shard count.
-pub fn fig6_sharded(
-    trace: &UtilizationTrace,
-    sizes: &[usize],
-    shards: usize,
-) -> Result<Vec<Fig6Point>> {
-    // Paper ratio: 3,000 servers for 5,415 VMs.
-    let max_size = sizes.iter().copied().max().unwrap_or(1);
-    let fleet = ((max_size as f64 * 3000.0 / 5415.0).ceil() as usize).max(8);
-    fig6_with_fleet_sharded(trace, sizes, fleet, shards)
-}
-
-/// [`fig6`] with an explicit shared fleet size.
-pub fn fig6_with_fleet(
-    trace: &UtilizationTrace,
-    sizes: &[usize],
-    fleet: usize,
-) -> Result<Vec<Fig6Point>> {
-    fig6_with_fleet_sharded(trace, sizes, fleet, 0)
-}
-
-/// [`fig6_with_fleet`] with an explicit shard count (`0` = host
-/// parallelism).
-pub fn fig6_with_fleet_sharded(
-    trace: &UtilizationTrace,
-    sizes: &[usize],
-    fleet: usize,
-    shards: usize,
-) -> Result<Vec<Fig6Point>> {
-    crate::shard::map_indices(sizes.len(), shards, |i| {
-        let n_vms = sizes[i];
+pub fn fig6(trace: &UtilizationTrace, cfg: &Fig6Config) -> Result<Vec<Fig6Point>> {
+    let fleet = cfg.fleet.unwrap_or_else(|| {
+        // Paper ratio: 3,000 servers for 5,415 VMs.
+        let max_size = cfg.sizes.iter().copied().max().unwrap_or(1);
+        ((max_size as f64 * 3000.0 / 5415.0).ceil() as usize).max(8)
+    });
+    crate::shard::map_indices(cfg.sizes.len(), cfg.shards, |i| {
+        let n_vms = cfg.sizes[i];
         let mut ipac_cfg = LargeScaleConfig::new(n_vms, OptimizerKind::Ipac);
         ipac_cfg.n_servers = Some(fleet);
         let mut pmap_cfg = LargeScaleConfig::new(n_vms, OptimizerKind::Pmapper);
         pmap_cfg.n_servers = Some(fleet);
-        let ipac = run_large_scale(trace, &ipac_cfg)?;
-        let pmapper = run_large_scale(trace, &pmap_cfg)?;
+        let opts = RunOptions::default();
+        let ipac = run_large_scale(trace, &ipac_cfg, &opts)?;
+        let pmapper = run_large_scale(trace, &pmap_cfg, &opts)?;
         Ok(Fig6Point {
             n_vms,
             ipac,
@@ -443,6 +443,56 @@ pub fn fig6_with_fleet_sharded(
     })
     .into_iter()
     .collect()
+}
+
+/// Superseded spelling of [`fig6`] with an explicit shard count.
+#[deprecated(note = "use fig6(trace, &Fig6Config)")]
+pub fn fig6_sharded(
+    trace: &UtilizationTrace,
+    sizes: &[usize],
+    shards: usize,
+) -> Result<Vec<Fig6Point>> {
+    fig6(
+        trace,
+        &Fig6Config {
+            shards,
+            ..Fig6Config::new(sizes.to_vec())
+        },
+    )
+}
+
+/// Superseded spelling of [`fig6`] with an explicit shared fleet size.
+#[deprecated(note = "use fig6(trace, &Fig6Config)")]
+pub fn fig6_with_fleet(
+    trace: &UtilizationTrace,
+    sizes: &[usize],
+    fleet: usize,
+) -> Result<Vec<Fig6Point>> {
+    fig6(
+        trace,
+        &Fig6Config {
+            fleet: Some(fleet),
+            ..Fig6Config::new(sizes.to_vec())
+        },
+    )
+}
+
+/// Superseded spelling of [`fig6`] with explicit fleet and shard count.
+#[deprecated(note = "use fig6(trace, &Fig6Config)")]
+pub fn fig6_with_fleet_sharded(
+    trace: &UtilizationTrace,
+    sizes: &[usize],
+    fleet: usize,
+    shards: usize,
+) -> Result<Vec<Fig6Point>> {
+    fig6(
+        trace,
+        &Fig6Config {
+            fleet: Some(fleet),
+            shards,
+            ..Fig6Config::new(sizes.to_vec())
+        },
+    )
 }
 
 /// Ablation (ABL1 in DESIGN.md): IPAC with and without DVFS, plus pMapper,
@@ -461,14 +511,24 @@ pub struct AblationResult {
 
 /// Run the DVFS ablation.
 pub fn ablation_dvfs(trace: &UtilizationTrace, n_vms: usize) -> Result<AblationResult> {
+    let opts = RunOptions::default();
     Ok(AblationResult {
         n_vms,
-        ipac: run_large_scale(trace, &LargeScaleConfig::new(n_vms, OptimizerKind::Ipac))?,
+        ipac: run_large_scale(
+            trace,
+            &LargeScaleConfig::new(n_vms, OptimizerKind::Ipac),
+            &opts,
+        )?,
         ipac_no_dvfs: run_large_scale(
             trace,
             &LargeScaleConfig::new(n_vms, OptimizerKind::IpacNoDvfs),
+            &opts,
         )?,
-        pmapper: run_large_scale(trace, &LargeScaleConfig::new(n_vms, OptimizerKind::Pmapper))?,
+        pmapper: run_large_scale(
+            trace,
+            &LargeScaleConfig::new(n_vms, OptimizerKind::Pmapper),
+            &opts,
+        )?,
     })
 }
 
@@ -495,7 +555,7 @@ mod tests {
             interval_s: 900.0,
             seed: 5,
         });
-        let points = fig6(&trace, &[20, 40, 60]).unwrap();
+        let points = fig6(&trace, &Fig6Config::new([20, 40, 60])).unwrap();
         assert_eq!(points.len(), 3);
         for p in &points {
             assert!(p.ipac.energy_per_vm_wh > 0.0);
@@ -517,10 +577,24 @@ mod tests {
             interval_s: 900.0,
             seed: 7,
         });
-        let sizes = [10usize, 25, 40];
-        let single = fig6_sharded(&trace, &sizes, 1).unwrap();
+        let sizes = vec![10usize, 25, 40];
+        let single = fig6(
+            &trace,
+            &Fig6Config {
+                shards: 1,
+                ..Fig6Config::new(sizes.clone())
+            },
+        )
+        .unwrap();
         for shards in [2usize, 8] {
-            let sharded = fig6_sharded(&trace, &sizes, shards).unwrap();
+            let sharded = fig6(
+                &trace,
+                &Fig6Config {
+                    shards,
+                    ..Fig6Config::new(sizes.clone())
+                },
+            )
+            .unwrap();
             assert_eq!(sharded.len(), single.len());
             for (a, b) in sharded.iter().zip(&single) {
                 assert_eq!(a.n_vms, b.n_vms);

@@ -8,13 +8,14 @@
 //! the whole week and reported per VM — the metric of Fig. 6.
 
 use crate::optimizer::{snapshot_sharded, Algorithm, OptimizerConfig, PowerOptimizer};
+use crate::run::RunOptions;
 use crate::{CoreError, Result};
 use vdc_apptier::rng::SimRng;
 use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::item::PackItem;
 use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
 use vdc_consolidate::view::apply_plan;
-use vdc_dcsim::{DataCenter, Server, ServerSpec, VmId, VmSpec};
+use vdc_dcsim::{DataCenter, Server, ServerHandle, ServerSpec, VmSpec};
 use vdc_telemetry::Telemetry;
 use vdc_trace::UtilizationTrace;
 
@@ -101,6 +102,10 @@ pub struct LargeScaleResult {
     /// Final VM→server placement, sorted by VM id (shard-equivalence
     /// suites compare this against the single-threaded run).
     pub final_placements: Vec<(u64, usize)>,
+    /// Per-sample time series (power, active servers, migration progress).
+    /// Populated only when [`RunOptions::capture_series`] is set; empty
+    /// otherwise.
+    pub series: Vec<WeekSample>,
 }
 
 /// Build the data-center server fleet: random mix of the three §VI-B CPU
@@ -163,42 +168,52 @@ pub struct WeekSample {
 }
 
 /// Run the large-scale simulation.
+///
+/// [`RunOptions`] carries the cross-cutting axes: telemetry sink
+/// (per-sample step cost `largescale.sample_ns`, optimizer invocation
+/// stats, per-server power samples, DVFS/wake/sleep transition counts —
+/// telemetry only observes, results are bit-identical to the
+/// uninstrumented run), shard override (else `cfg.shards`), and whether
+/// the per-sample [`WeekSample`] series is kept in the result.
 pub fn run_large_scale(
     trace: &UtilizationTrace,
     cfg: &LargeScaleConfig,
+    opts: &RunOptions<'_>,
 ) -> Result<LargeScaleResult> {
-    run_large_scale_impl(trace, cfg, None, &Telemetry::disabled())
+    let telemetry = opts.telemetry();
+    run_large_scale_impl(trace, cfg, opts, &telemetry)
 }
 
-/// Like [`run_large_scale`], additionally returning the per-sample time
-/// series (power, active servers, migration progress) for profile plots.
-/// Pass [`Telemetry::disabled`] when no metrics sink is wanted.
+/// Superseded spelling of [`run_large_scale`] returning the series beside
+/// the result.
+#[deprecated(note = "use run_large_scale(trace, cfg, &RunOptions) with .with_series()")]
 pub fn run_large_scale_with_series(
     trace: &UtilizationTrace,
     cfg: &LargeScaleConfig,
     telemetry: &Telemetry,
 ) -> Result<(LargeScaleResult, Vec<WeekSample>)> {
-    let mut series = Vec::with_capacity(trace.n_samples());
-    let result = run_large_scale_impl(trace, cfg, Some(&mut series), telemetry)?;
+    let opts = RunOptions::default()
+        .with_telemetry(telemetry)
+        .with_series();
+    let mut result = run_large_scale(trace, cfg, &opts)?;
+    let series = std::mem::take(&mut result.series);
     Ok((result, series))
 }
 
-/// [`run_large_scale`] with an observability sink: per-sample step cost
-/// (`largescale.sample_ns`), optimizer invocation stats, per-server power
-/// samples, and DVFS/wake/sleep transition counts. Telemetry only observes
-/// — results are bit-identical to the uninstrumented run.
+/// Superseded spelling of [`run_large_scale`] with a telemetry sink.
+#[deprecated(note = "use run_large_scale(trace, cfg, &RunOptions) with .with_telemetry()")]
 pub fn run_large_scale_with_telemetry(
     trace: &UtilizationTrace,
     cfg: &LargeScaleConfig,
     telemetry: &Telemetry,
 ) -> Result<LargeScaleResult> {
-    run_large_scale_impl(trace, cfg, None, telemetry)
+    run_large_scale(trace, cfg, &RunOptions::default().with_telemetry(telemetry))
 }
 
 fn run_large_scale_impl(
     trace: &UtilizationTrace,
     cfg: &LargeScaleConfig,
-    mut series: Option<&mut Vec<WeekSample>>,
+    opts: &RunOptions<'_>,
     telemetry: &Telemetry,
 ) -> Result<LargeScaleResult> {
     if cfg.n_vms == 0 || cfg.n_vms > trace.n_vms() {
@@ -213,19 +228,24 @@ fn run_large_scale_impl(
             "optimizer period must be at least one sample".into(),
         ));
     }
-    let shards = crate::shard::resolve(cfg.shards);
+    let shards = crate::shard::resolve(opts.shards_or(cfg.shards));
     let n_servers = cfg
         .n_servers
         .unwrap_or_else(|| auto_servers(trace, cfg.n_vms, shards));
     let mut dc = build_fleet(n_servers, cfg.seed);
 
-    // Register the VMs with their t = 0 demands.
+    // Register the VMs with their t = 0 demands. Registration order makes
+    // arena slot i the trace row i, which is what lets the per-sample
+    // demand update below write the demand table by slot index.
     let mut initial_items = Vec::with_capacity(cfg.n_vms);
     for vm in 0..cfg.n_vms {
         let demand = trace.demand_ghz(vm, 0);
         let mem = trace.meta(vm).memory_mib;
-        dc.add_vm(VmSpec::new(vm as u64, demand, mem))?;
-        initial_items.push(PackItem::new(VmId(vm as u64), demand, mem));
+        let spec = VmSpec::new(vm as u64, demand, mem);
+        let id = spec.id;
+        let handle = dc.add_vm(spec)?;
+        debug_assert_eq!(handle.index(), vm);
+        initial_items.push(PackItem::new(id, demand, mem));
     }
 
     let dvfs = matches!(cfg.optimizer, OptimizerKind::Ipac);
@@ -244,6 +264,11 @@ fn run_large_scale_impl(
     // Initial placement.
     optimizer.optimize(&mut dc, &initial_items)?;
 
+    let mut series = if opts.capture_series {
+        Vec::with_capacity(trace.n_samples())
+    } else {
+        Vec::new()
+    };
     let mut active_sum = 0usize;
     let mut peak_active = 0usize;
     let mut total = 0.0_f64;
@@ -254,16 +279,22 @@ fn run_large_scale_impl(
     let relief_cfg = ReliefConfig::default();
     for t in 0..trace.n_samples() {
         let sample_span = telemetry.timer("largescale.sample_ns");
-        // Update demands from the trace.
-        for vm in 0..cfg.n_vms {
-            dc.set_vm_demand(VmId(vm as u64), trace.demand_ghz(vm, t))?;
-        }
+        // Update demands from the trace: slot i is trace row i, so this is
+        // a pure per-element write over a dense slice — sharded. The
+        // `.max(0.0)` clamp matches `set_vm_demand`.
+        let demand_span = telemetry.timer("largescale.demand_ns");
+        crate::shard::map_slice_mut(&mut dc.demands_mut()[..cfg.n_vms], shards, |vm, d| {
+            *d = trace.demand_ghz(vm, t).max(0.0);
+        });
+        demand_span.finish();
         // Long-period consolidation.
         if t > 0 && t % cfg.optimizer_period_samples == 0 {
             optimizer.optimize(&mut dc, &[])?;
         } else if cfg.overload_relief {
             // On-demand overload mitigation between invocations (§III).
+            let snap_span = telemetry.timer("largescale.relief_snapshot_ns");
             let snap = snapshot_sharded(&dc, shards);
+            snap_span.finish();
             let outcome = relieve_overloads(&snap, &relief_constraint, &relief_cfg);
             if !outcome.plan.is_empty() {
                 let stats = apply_plan(&mut dc, &outcome.plan)?;
@@ -271,9 +302,19 @@ fn run_large_scale_impl(
                 telemetry.incr("largescale.relief_migrations", stats.migrations as u64);
             }
         }
-        // Short-period DVFS (or pin active servers at max frequency).
+        // Short-period DVFS (or pin active servers at max frequency). The
+        // per-server arbitrator decision is a pure read, so it fans out
+        // across shards; the commit (state writes + transition counters)
+        // stays a sequential index-order pass.
         if dvfs {
-            dc.apply_dvfs(true)?;
+            let dvfs_span = telemetry.timer("largescale.dvfs_ns");
+            let decisions = crate::shard::map_indices(dc.n_servers(), shards, |s| {
+                dc.dvfs_decision(ServerHandle::from_index(s), true)
+            })
+            .into_iter()
+            .collect::<vdc_dcsim::Result<Vec<_>>>();
+            dvfs_span.finish();
+            dc.apply_dvfs_decisions(&decisions?)?;
         } else {
             pin_max_frequency(&mut dc)?;
         }
@@ -314,8 +355,8 @@ fn run_large_scale_impl(
         }
         total += watts * trace.interval_s() / 3600.0;
         telemetry.incr("largescale.samples", 1);
-        if let Some(sink) = series.as_deref_mut() {
-            sink.push(WeekSample {
+        if opts.capture_series {
+            series.push(WeekSample {
                 t_s: t as f64 * trace.interval_s(),
                 power_w: watts,
                 active_servers: active.len(),
@@ -345,10 +386,12 @@ fn run_large_scale_impl(
         "largescale.migrations",
         optimizer.total_migrations() + relief_migrations,
     );
+    // Label-ordered (VmId-sorted) iteration, matching the order the old
+    // BTreeMap-keyed state produced.
     let mut final_placements = Vec::with_capacity(cfg.n_vms);
-    for vm in 0..cfg.n_vms as u64 {
-        if let Some(server) = dc.placement_of(VmId(vm)) {
-            final_placements.push((vm, server));
+    for (id, h) in dc.vm_handles() {
+        if let Some(server) = dc.placement_of(h) {
+            final_placements.push((id.0, server.index()));
         }
     }
     Ok(LargeScaleResult {
@@ -367,13 +410,15 @@ fn run_large_scale_impl(
         },
         wake_energy_wh,
         final_placements,
+        series,
     })
 }
 
 /// Without DVFS, active servers run at their maximum frequency; idle ones
 /// still sleep (both schemes consolidate).
 fn pin_max_frequency(dc: &mut DataCenter) -> Result<()> {
-    for s in 0..dc.n_servers() {
+    for i in 0..dc.n_servers() {
+        let s = ServerHandle::from_index(i);
         if dc.server(s)?.is_active() {
             if dc.hosted_vms(s)?.is_empty() {
                 dc.sleep_server(s)?;
@@ -389,6 +434,11 @@ fn pin_max_frequency(dc: &mut DataCenter) -> Result<()> {
 mod tests {
     use super::*;
     use vdc_trace::{generate_trace, TraceConfig};
+
+    /// Local shorthand: the quiet default-options run.
+    fn run_large_scale(t: &UtilizationTrace, cfg: &LargeScaleConfig) -> Result<LargeScaleResult> {
+        super::run_large_scale(t, cfg, &RunOptions::default())
+    }
 
     fn small_trace() -> UtilizationTrace {
         generate_trace(&TraceConfig {
@@ -499,19 +549,19 @@ mod tests {
     fn sharded_run_is_bit_identical_to_single_threaded() {
         let t = small_trace();
         let base = LargeScaleConfig::new(40, OptimizerKind::Ipac);
-        let (single, single_series) = {
+        let opts = RunOptions::default().with_series();
+        let single = {
             let mut cfg = base.clone();
             cfg.shards = 1;
-            run_large_scale_with_series(&t, &cfg, &Telemetry::disabled()).unwrap()
+            super::run_large_scale(&t, &cfg, &opts).unwrap()
         };
         for shards in [2usize, 3, 8] {
-            let mut cfg = base.clone();
-            cfg.shards = shards;
-            let (sharded, series) =
-                run_large_scale_with_series(&t, &cfg, &Telemetry::disabled()).unwrap();
+            // Exercise the RunOptions shard override path as well.
+            let sharded = super::run_large_scale(&t, &base, &opts.with_shards(shards)).unwrap();
             assert_results_bit_identical(&single, &sharded, &format!("shards={shards}"));
+            let (series, single_series) = (&sharded.series, &single.series);
             assert_eq!(series.len(), single_series.len());
-            for (a, b) in series.iter().zip(&single_series) {
+            for (a, b) in series.iter().zip(single_series) {
                 assert_eq!(a.power_w.to_bits(), b.power_w.to_bits(), "shards={shards}");
                 assert_eq!(a.active_servers, b.active_servers);
                 assert_eq!(a.migrations_so_far, b.migrations_so_far);
@@ -554,6 +604,11 @@ mod tests {
 mod relief_tests {
     use super::*;
     use vdc_trace::{generate_trace, TraceConfig};
+
+    /// Local shorthand: the quiet default-options run.
+    fn run_large_scale(t: &UtilizationTrace, cfg: &LargeScaleConfig) -> Result<LargeScaleResult> {
+        super::run_large_scale(t, cfg, &RunOptions::default())
+    }
 
     fn trace(n_vms: usize, seed: u64) -> UtilizationTrace {
         generate_trace(&TraceConfig {

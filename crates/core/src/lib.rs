@@ -33,13 +33,16 @@ pub mod cosim;
 pub mod experiments;
 pub mod largescale;
 pub mod optimizer;
+pub mod run;
 pub mod shard;
 pub mod testbed;
 
 pub use controller::{IdentificationConfig, ResponseTimeController};
 pub use cosim::{run_cosim, CosimConfig, CosimResult};
-pub use largescale::{LargeScaleConfig, LargeScaleResult, OptimizerKind};
+pub use experiments::Fig6Config;
+pub use largescale::{run_large_scale, LargeScaleConfig, LargeScaleResult, OptimizerKind};
 pub use optimizer::{OptimizerConfig, PowerOptimizer};
+pub use run::RunOptions;
 pub use testbed::{Testbed, TestbedConfig};
 
 /// Errors from the integrated runtime.

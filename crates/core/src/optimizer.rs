@@ -7,13 +7,13 @@
 
 use crate::Result;
 use vdc_consolidate::constraint::AndConstraint;
-use vdc_consolidate::ipac::{ipac_plan, IpacConfig};
+use vdc_consolidate::ipac::{ipac_plan_stats, IpacConfig};
 use vdc_consolidate::item::{PackItem, PackServer};
 use vdc_consolidate::plan::ConsolidationPlan;
 use vdc_consolidate::pmapper::pmapper_plan;
 use vdc_consolidate::policy::{AlwaysAllow, MigrationPolicy};
 use vdc_consolidate::view::{apply_plan, ApplyStats};
-use vdc_dcsim::DataCenter;
+use vdc_dcsim::{DataCenter, ServerHandle};
 use vdc_telemetry::Telemetry;
 
 /// Build the consolidation snapshot with per-server view construction
@@ -22,30 +22,13 @@ use vdc_telemetry::Telemetry;
 /// Produces exactly the vector [`vdc_consolidate::view::snapshot`] builds —
 /// server order is index-stable and each [`PackServer`] depends only on its
 /// own server's state — so planning decisions are unchanged by the shard
-/// count. Walking every server's resident VM list is the dominant
-/// per-sample cost of the week replay (BTreeMap lookups per hosted VM),
-/// which is why the snapshot is worth sharding at all.
+/// count. The workers walk a copy-on-write [`vdc_dcsim::Snapshot`] (dense
+/// arena reads, no tree lookups), so each server's resident list is pure
+/// per-element work.
 pub fn snapshot_sharded(dc: &DataCenter, shards: usize) -> Vec<PackServer> {
-    crate::shard::map_indices(dc.n_servers(), shards, |i| {
-        let server = dc.server(i).expect("index in range");
-        let resident = dc
-            .hosted_vms(i)
-            .expect("index in range")
-            .iter()
-            .map(|&vm| {
-                let spec = dc.vm(vm).expect("hosted VM is registered");
-                PackItem::new(vm, spec.cpu_demand_ghz, spec.memory_mib)
-            })
-            .collect();
-        PackServer {
-            index: i,
-            cpu_capacity_ghz: server.spec.max_capacity_ghz(),
-            mem_capacity_mib: server.spec.memory_mib,
-            max_watts: server.spec.power.max_watts,
-            idle_watts: server.spec.power.static_watts,
-            active: server.is_active(),
-            resident,
-        }
+    let view = dc.snapshot();
+    crate::shard::map_indices(view.n_servers(), shards, |i| {
+        vdc_consolidate::view::pack_server(&view, ServerHandle::from_index(i))
     })
 }
 
@@ -114,12 +97,16 @@ impl PowerOptimizer {
         }
     }
 
-    /// Fan snapshot construction out over `shards` workers (`0` = host
-    /// parallelism). The plan/apply phases stay sequential — an optimizer
-    /// invocation is the serial barrier of the sharded replay loop, and its
-    /// consolidation decisions are identical at every shard count.
+    /// Fan the shardable phases of an invocation out over `shards` workers
+    /// (`0` = host parallelism): snapshot construction and the Minimum
+    /// Slack root sweeps inside IPAC's packing. The commit phases stay
+    /// sequential — an optimizer invocation is the serial barrier of the
+    /// sharded replay loop — and the consolidation decisions are
+    /// bit-identical at every shard count (see
+    /// [`vdc_consolidate::minimum_slack`]).
     pub fn set_shards(&mut self, shards: usize) {
         self.shards = crate::shard::resolve(shards);
+        self.cfg.ipac.minslack.shards = self.shards;
     }
 
     /// Attach a telemetry sink. Each invocation then records its planning
@@ -142,15 +129,24 @@ impl PowerOptimizer {
 
     /// Plan without applying (inspection / dry runs).
     pub fn plan(&self, dc: &DataCenter, new_items: &[PackItem]) -> ConsolidationPlan {
+        let span = self.telemetry.timer("optimizer.snapshot_ns");
         let snap = snapshot_sharded(dc, self.shards);
+        span.finish();
         match self.cfg.algorithm {
-            Algorithm::Ipac => ipac_plan(
-                &snap,
-                new_items,
-                &self.cfg.constraint,
-                self.cfg.policy.as_ref(),
-                &self.cfg.ipac,
-            ),
+            Algorithm::Ipac => {
+                let (plan, stats) = ipac_plan_stats(
+                    &snap,
+                    new_items,
+                    &self.cfg.constraint,
+                    self.cfg.policy.as_ref(),
+                    &self.cfg.ipac,
+                );
+                // The Minimum Slack root sweeps fan out over the shard
+                // workers; everything else in the invocation is serial.
+                self.telemetry
+                    .record("optimizer.pack_search_ns", stats.search_ns as f64);
+                plan
+            }
             Algorithm::Pmapper => pmapper_plan(&snap, new_items, &self.cfg.constraint),
         }
     }
@@ -200,16 +196,26 @@ mod tests {
     use vdc_consolidate::view::snapshot;
     use vdc_dcsim::{Server, ServerSpec, VmId, VmSpec};
 
+    fn srv(i: usize) -> ServerHandle {
+        ServerHandle::from_index(i)
+    }
+
     fn spread_dc() -> DataCenter {
         let mut dc = DataCenter::new();
         dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
         dc.add_server(Server::active(ServerSpec::type_dual_2ghz()));
         dc.add_server(Server::active(ServerSpec::type_dual_1_5ghz()));
         for i in 0..3 {
-            dc.add_vm(VmSpec::new(i, 0.8, 1024.0)).unwrap();
-            dc.place_vm(VmId(i), i as usize).unwrap();
+            let h = dc.add_vm(VmSpec::new(i, 0.8, 1024.0)).unwrap();
+            dc.place_vm(h, srv(i as usize)).unwrap();
         }
         dc
+    }
+
+    fn placement_by_label(dc: &DataCenter, id: u64) -> Option<usize> {
+        dc.lookup(VmId(id))
+            .and_then(|h| dc.placement_of(h))
+            .map(|s| s.index())
     }
 
     #[test]
@@ -222,10 +228,10 @@ mod tests {
         assert_eq!(opt.total_migrations(), stats.migrations as u64);
         // Everything should now sit on the efficient quad server.
         for i in 0..3 {
-            assert_eq!(dc.placement_of(VmId(i)), Some(0));
+            assert_eq!(placement_by_label(&dc, i), Some(0));
         }
         dc.apply_dvfs(true).unwrap();
-        assert_eq!(dc.active_servers(), vec![0]);
+        assert_eq!(dc.active_servers(), vec![srv(0)]);
     }
 
     #[test]
@@ -235,7 +241,7 @@ mod tests {
         let stats = opt.optimize(&mut dc, &[]).unwrap();
         assert!(stats.migrations >= 2, "{stats:?}");
         for i in 0..3 {
-            assert_eq!(dc.placement_of(VmId(i)), Some(0));
+            assert_eq!(placement_by_label(&dc, i), Some(0));
         }
     }
 
@@ -249,8 +255,8 @@ mod tests {
             .optimize(&mut dc, &[PackItem::new(VmId(7), 1.0, 1024.0)])
             .unwrap();
         assert_eq!(stats.placements, 1);
-        assert_eq!(dc.placement_of(VmId(7)), Some(0));
-        assert!(dc.server(0).unwrap().is_active());
+        assert_eq!(placement_by_label(&dc, 7), Some(0));
+        assert!(dc.server(srv(0)).unwrap().is_active());
     }
 
     #[test]
@@ -260,7 +266,7 @@ mod tests {
         let plan = opt.plan(&dc, &[]);
         assert!(!plan.moves.is_empty());
         // dc unchanged.
-        assert_eq!(dc.placement_of(VmId(1)), Some(1));
+        assert_eq!(placement_by_label(&dc, 1), Some(1));
     }
 
     #[test]
@@ -332,7 +338,7 @@ mod tests {
         assert!(active.len() < 4, "3 GHz of demand must not wake the fleet");
         assert!(dc.wake_count() >= 1);
         for i in 0..3 {
-            assert!(dc.placement_of(VmId(i)).is_some());
+            assert!(placement_by_label(&dc, i).is_some());
         }
     }
 }

@@ -1,0 +1,109 @@
+//! Cross-cutting options shared by every runner entry point.
+//!
+//! Historically each runner grew its own variants (`run_cosim` /
+//! `run_cosim_with_telemetry`, `run_large_scale` / `_with_series` /
+//! `_with_telemetry`, four `fig6` spellings). [`RunOptions`] collapses the
+//! axes those variants multiplied over — observability sink, shard
+//! override, series capture — into one value with sane defaults, so every
+//! runner is `run_xxx(input, &config, &RunOptions)` and new axes don't
+//! multiply the API again.
+
+use vdc_telemetry::Telemetry;
+
+/// Options orthogonal to *what* is simulated: where metrics go, how many
+/// shard workers run the fan-out stages, and whether the per-sample ledger
+/// is kept. None of these change simulation results — runs are bit-identical
+/// for every combination (`tests/sharding.rs` and the determinism suite
+/// enforce this).
+///
+/// `RunOptions::default()` is the quiet single-purpose run: no telemetry,
+/// shard count taken from the runner's config, no series capture.
+///
+/// # Examples
+///
+/// ```
+/// use vdc_core::RunOptions;
+/// use vdc_telemetry::Telemetry;
+///
+/// let telemetry = Telemetry::enabled();
+/// let opts = RunOptions::default()
+///     .with_telemetry(&telemetry)
+///     .with_shards(8)
+///     .with_series();
+/// assert_eq!(opts.shards, Some(8));
+/// assert!(opts.capture_series);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions<'a> {
+    /// Metrics/span/SLO sink. `None` runs unobserved (zero overhead);
+    /// telemetry only observes, never perturbs results.
+    pub telemetry: Option<&'a Telemetry>,
+    /// Shard-worker override for the fan-out stages: `Some(0)` = host
+    /// parallelism, `Some(n)` = exactly `n`, `None` = defer to the
+    /// runner's config (its own `shards` field).
+    pub shards: Option<usize>,
+    /// Capture the per-sample time series in the result (the large-scale
+    /// replay's `WeekSample` ledger). Off by default: a week at 15-minute
+    /// samples is small, but figure sweeps run many replays and only the
+    /// profile plots read it. The co-simulation's trajectories are part of
+    /// its result proper and are always captured.
+    pub capture_series: bool,
+}
+
+impl<'a> RunOptions<'a> {
+    /// Attach a telemetry sink.
+    pub fn with_telemetry(mut self, telemetry: &'a Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Override the shard count (`0` = host parallelism).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Capture the per-sample time series.
+    pub fn with_series(mut self) -> Self {
+        self.capture_series = true;
+        self
+    }
+
+    /// The effective telemetry sink (disabled when none was attached).
+    pub(crate) fn telemetry(&self) -> Telemetry {
+        self.telemetry.cloned().unwrap_or_else(Telemetry::disabled)
+    }
+
+    /// The effective shard request given a runner config's own `shards`
+    /// field: the override wins, otherwise the config value passes through
+    /// (still subject to `shard::resolve`'s `0` = auto rule).
+    pub(crate) fn shards_or(&self, cfg_shards: usize) -> usize {
+        self.shards.unwrap_or(cfg_shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet_and_defers_to_config() {
+        let opts = RunOptions::default();
+        assert!(opts.telemetry.is_none());
+        assert!(!opts.capture_series);
+        assert_eq!(opts.shards_or(3), 3);
+        assert!(!opts.telemetry().is_enabled());
+    }
+
+    #[test]
+    fn builders_set_each_axis() {
+        let telemetry = Telemetry::enabled();
+        let opts = RunOptions::default()
+            .with_telemetry(&telemetry)
+            .with_shards(0)
+            .with_series();
+        assert_eq!(opts.shards_or(5), 0, "explicit 0 (auto) beats config");
+        assert!(opts.capture_series);
+        assert!(opts.telemetry().is_enabled());
+    }
+}

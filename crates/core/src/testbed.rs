@@ -10,7 +10,7 @@
 use crate::controller::{identify_plant, IdentificationConfig, ResponseTimeController};
 use crate::{CoreError, Result};
 use vdc_apptier::{AppSim, WorkloadProfile};
-use vdc_dcsim::{CpuArbitrator, DataCenter, Server, ServerSpec, VmId, VmSpec};
+use vdc_dcsim::{CpuArbitrator, DataCenter, Server, ServerHandle, ServerSpec, VmHandle, VmSpec};
 
 /// Configuration of the testbed scenario.
 #[derive(Debug, Clone)]
@@ -66,8 +66,8 @@ pub struct Testbed {
     dc: DataCenter,
     apps: Vec<AppSim>,
     controllers: Vec<ResponseTimeController>,
-    /// `vm_ids[app][tier]`.
-    vm_ids: Vec<Vec<VmId>>,
+    /// `vm_handles[app][tier]`.
+    vm_handles: Vec<Vec<VmHandle>>,
     time_s: f64,
 }
 
@@ -110,7 +110,7 @@ impl Testbed {
 
         let mut apps = Vec::with_capacity(cfg.n_apps);
         let mut controllers = Vec::with_capacity(cfg.n_apps);
-        let mut vm_ids = Vec::with_capacity(cfg.n_apps);
+        let mut vm_handles = Vec::with_capacity(cfg.n_apps);
         let c0 = vec![1.0; n_tiers];
         for a in 0..cfg.n_apps {
             let plant = AppSim::new(
@@ -136,30 +136,30 @@ impl Testbed {
 
             // Register the application's tier VMs, spreading web and DB
             // tiers across different servers.
-            let mut ids = Vec::with_capacity(n_tiers);
+            let mut handles = Vec::with_capacity(n_tiers);
             for (tier, &c_init) in c0.iter().enumerate() {
                 let vm_id = (a * n_tiers + tier) as u64;
-                dc.add_vm(VmSpec::for_app(
+                let h = dc.add_vm(VmSpec::for_app(
                     vm_id,
                     a as u32,
                     tier as u32,
                     c_init,
                     1024.0,
                 ))?;
-                let server = (a + tier) % dc.n_servers();
-                dc.place_vm(VmId(vm_id), server)?;
-                ids.push(VmId(vm_id));
+                let server = ServerHandle::from_index((a + tier) % dc.n_servers());
+                dc.place_vm(h, server)?;
+                handles.push(h);
             }
             apps.push(plant);
             controllers.push(controller);
-            vm_ids.push(ids);
+            vm_handles.push(handles);
         }
 
         Ok(Testbed {
             dc,
             apps,
             controllers,
-            vm_ids,
+            vm_handles,
             time_s: 0.0,
         })
     }
@@ -207,9 +207,9 @@ impl Testbed {
         }
 
         // 2. Propagate the VM demands to the data center.
-        for (app, ids) in self.vm_ids.iter().enumerate() {
+        for (app, handles) in self.vm_handles.iter().enumerate() {
             let alloc = self.controllers[app].allocation();
-            for (tier, &vm) in ids.iter().enumerate() {
+            for (tier, &vm) in handles.iter().enumerate() {
                 self.dc.set_vm_demand(vm, alloc[tier])?;
             }
         }
@@ -218,16 +218,16 @@ impl Testbed {
         //    when a server is oversubscribed, scale the hosted allocations
         //    proportionally and apply the throttled values to the plants.
         self.dc.apply_dvfs(false)?;
-        for s in 0..self.dc.n_servers() {
+        for i in 0..self.dc.n_servers() {
+            let s = ServerHandle::from_index(i);
             let demand = self.dc.server_demand_ghz(s)?;
             let cap = self.dc.server(s)?.spec.max_capacity_ghz();
             if demand > cap {
                 let scale = cap / demand;
-                let hosted: Vec<VmId> = self.dc.hosted_vms(s)?.to_vec();
+                let hosted: Vec<VmHandle> = self.dc.hosted_vms(s)?.to_vec();
                 for vm in hosted {
-                    let spec = self.dc.vm(vm)?;
-                    let (app, tier) = spec.app.expect("testbed VMs carry app tags");
-                    let granted = spec.cpu_demand_ghz * scale;
+                    let (app, tier) = self.dc.vm(vm)?.app.expect("testbed VMs carry app tags");
+                    let granted = self.dc.vm_demand(vm)? * scale;
                     self.apps[app as usize].set_allocation(tier as usize, granted)?;
                 }
             }
@@ -237,7 +237,7 @@ impl Testbed {
         self.dc.accumulate_energy(period);
         self.time_s += period;
         let freq_ghz = (0..self.dc.n_servers())
-            .map(|s| match self.dc.server(s).expect("in range").state {
+            .map(|i| match self.dc.servers()[i].state {
                 vdc_dcsim::ServerState::Active { freq_ghz } => freq_ghz,
                 vdc_dcsim::ServerState::Sleeping => 0.0,
             })

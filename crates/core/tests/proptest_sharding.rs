@@ -8,6 +8,7 @@
 
 use vdc_check::{check, from_fn, prop_assert_eq, Gen, TestRng};
 use vdc_core::largescale::{run_large_scale, LargeScaleConfig, OptimizerKind};
+use vdc_core::RunOptions;
 use vdc_trace::{generate_trace, TraceConfig};
 
 const CASES: u32 = 24;
@@ -58,12 +59,14 @@ fn instance() -> impl Gen<Value = Instance> {
 fn sharded_run_large_scale_equals_unsharded() {
     check(CASES, &instance(), |inst| {
         let trace = generate_trace(&inst.trace_cfg);
-        let mut single_cfg = inst.cfg.clone();
-        single_cfg.shards = 1;
-        let single = run_large_scale(&trace, &single_cfg).expect("single-threaded run");
-        let mut sharded_cfg = inst.cfg.clone();
-        sharded_cfg.shards = inst.shards;
-        let sharded = run_large_scale(&trace, &sharded_cfg).expect("sharded run");
+        let single = run_large_scale(&trace, &inst.cfg, &RunOptions::default().with_shards(1))
+            .expect("single-threaded run");
+        let sharded = run_large_scale(
+            &trace,
+            &inst.cfg,
+            &RunOptions::default().with_shards(inst.shards),
+        )
+        .expect("sharded run");
         let ctx = format!(
             "n_vms={} servers={:?} shards={}",
             inst.cfg.n_vms, inst.cfg.n_servers, inst.shards

@@ -5,11 +5,34 @@
 //! servers hosting up to 5,415 trace-driven VMs). The consolidation
 //! algorithms in `vdc-consolidate` compute *plans*; this module executes
 //! them (migrations, sleep/wake) and integrates power into energy.
+//!
+//! # Arena layout
+//!
+//! All mutable simulation state lives in dense, index-addressed vectors
+//! inside one copy-on-write block ([`DataCenter`] holds it behind an
+//! `Arc`): VM specs, current CPU demands, placements, and per-server
+//! hosted lists are `Vec`s addressed by copyable [`VmHandle`] /
+//! [`ServerHandle`] slot indices. [`VmId`] remains only as the external
+//! label ([`DataCenter::lookup`] translates). The layout exists so that
+//! the per-sample demand update and the per-server DVFS/arbitrator pass
+//! can fan out over shard workers (`vdc_core::shard`) as pure per-element
+//! reads/writes, with every reduction a sequential index-order fold:
+//!
+//! * [`DataCenter::demands_mut`] exposes the demand table as one `&mut
+//!   [f64]` so disjoint chunks can be written concurrently;
+//! * [`DataCenter::dvfs_decision`] is the read-only per-server half of the
+//!   arbitrator pass; [`DataCenter::apply_dvfs_decisions`] commits the
+//!   decisions sequentially in index order (counter updates stay
+//!   deterministic);
+//! * [`DataCenter::snapshot`] returns a cheap [`Snapshot`] — an `Arc`
+//!   clone — that read-only shard workers can walk while the live state
+//!   keeps mutating (first mutation after a snapshot clones the block).
 
-use crate::server::{CpuArbitrator, Server, ServerState};
-use crate::vm::{VmId, VmSpec};
+use crate::server::{CpuArbitrator, Server, ServerHandle, ServerState};
+use crate::vm::{VmHandle, VmId, VmSpec};
 use crate::{DcError, Result};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Record of one executed live migration.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,26 +49,181 @@ pub struct MigrationRecord {
     pub duration_s: f64,
 }
 
+/// One per-server outcome of the DVFS/arbitrator pass, computed read-only
+/// by [`DataCenter::dvfs_decision`] and committed by
+/// [`DataCenter::apply_dvfs_decisions`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DvfsDecision {
+    /// Leave the server untouched (it is sleeping).
+    Hold,
+    /// Sleep an idle active server (`sleep_idle` mode, no hosted VMs).
+    Sleep,
+    /// Set the active server to this per-core frequency (GHz).
+    Frequency(f64),
+}
+
+/// The copy-on-write state block: every field the simulation mutates per
+/// sample, in dense slot-indexed form. `DataCenter` mutators funnel
+/// through `Arc::make_mut`, so cloning the `Arc` ([`DataCenter::snapshot`])
+/// is O(1) and the first mutation afterwards pays one deep copy.
+#[derive(Debug, Clone, Default)]
+struct DcState {
+    servers: Vec<Server>,
+    /// VM arena; `None` marks a removed (permanently vacant) slot.
+    vms: Vec<Option<VmSpec>>,
+    /// Current CPU demand (GHz) per VM slot; 0.0 for vacant slots.
+    demand: Vec<f64>,
+    /// Hosting server per VM slot; `None` = registered but unplaced.
+    placement: Vec<Option<ServerHandle>>,
+    /// Hosted VM handles per server, in placement order.
+    hosted: Vec<Vec<VmHandle>>,
+    /// External-label index, VmId-ordered.
+    index: BTreeMap<VmId, VmHandle>,
+}
+
+impl DcState {
+    fn vm_ref(&self, h: VmHandle) -> Result<&VmSpec> {
+        self.vms
+            .get(h.index())
+            .and_then(|slot| slot.as_ref())
+            .ok_or(DcError::StaleHandle(h.index()))
+    }
+
+    fn hosted_on(&self, server: ServerHandle) -> Result<&[VmHandle]> {
+        self.hosted
+            .get(server.index())
+            .map(|v| v.as_slice())
+            .ok_or(DcError::UnknownServer(server.index()))
+    }
+
+    fn server_demand_ghz(&self, server: ServerHandle) -> Result<f64> {
+        Ok(self
+            .hosted_on(server)?
+            .iter()
+            .map(|h| self.demand[h.index()])
+            .sum())
+    }
+
+    fn server_memory_mib(&self, server: ServerHandle) -> Result<f64> {
+        Ok(self
+            .hosted_on(server)?
+            .iter()
+            .map(|h| {
+                self.vms[h.index()]
+                    .as_ref()
+                    .expect("hosted lists hold only occupied slots")
+                    .memory_mib
+            })
+            .sum())
+    }
+}
+
+/// A cheap read-only view of the data-center state at one instant.
+///
+/// Taking a snapshot clones only an `Arc`; the live [`DataCenter`] pays a
+/// single deep copy on its *next* mutation (copy-on-write), after which
+/// the snapshot and the live state diverge. Shard workers building packing
+/// views walk a snapshot without borrowing the live simulation.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    state: Arc<DcState>,
+}
+
+impl Snapshot {
+    /// Number of servers.
+    pub fn n_servers(&self) -> usize {
+        self.state.servers.len()
+    }
+
+    /// All servers, slot-indexed.
+    pub fn servers(&self) -> &[Server] {
+        &self.state.servers
+    }
+
+    /// Borrow a server.
+    pub fn server(&self, server: ServerHandle) -> Result<&Server> {
+        self.state
+            .servers
+            .get(server.index())
+            .ok_or(DcError::UnknownServer(server.index()))
+    }
+
+    /// Number of registered (live) VMs.
+    pub fn n_vms(&self) -> usize {
+        self.state.index.len()
+    }
+
+    /// Borrow a VM spec (demand at registration time; see
+    /// [`Snapshot::vm_demand`] for the live demand).
+    pub fn vm(&self, h: VmHandle) -> Result<&VmSpec> {
+        self.state.vm_ref(h)
+    }
+
+    /// Current CPU demand (GHz) of a VM.
+    pub fn vm_demand(&self, h: VmHandle) -> Result<f64> {
+        self.state.vm_ref(h)?;
+        Ok(self.state.demand[h.index()])
+    }
+
+    /// The demand table, slot-indexed (vacant slots read 0.0).
+    pub fn demands(&self) -> &[f64] {
+        &self.state.demand
+    }
+
+    /// Hosting server per VM slot.
+    pub fn placements(&self) -> &[Option<ServerHandle>] {
+        &self.state.placement
+    }
+
+    /// Current server hosting a VM, if placed.
+    pub fn placement_of(&self, h: VmHandle) -> Option<ServerHandle> {
+        self.state.placement.get(h.index()).copied().flatten()
+    }
+
+    /// VMs hosted on a server, in placement order.
+    pub fn hosted_vms(&self, server: ServerHandle) -> Result<&[VmHandle]> {
+        self.state.hosted_on(server)
+    }
+
+    /// Aggregate CPU demand hosted on a server (GHz).
+    pub fn server_demand_ghz(&self, server: ServerHandle) -> Result<f64> {
+        self.state.server_demand_ghz(server)
+    }
+
+    /// Aggregate memory hosted on a server (MiB).
+    pub fn server_memory_mib(&self, server: ServerHandle) -> Result<f64> {
+        self.state.server_memory_mib(server)
+    }
+
+    /// Translate an external VM label to its arena handle.
+    pub fn lookup(&self, id: VmId) -> Option<VmHandle> {
+        self.state.index.get(&id).copied()
+    }
+
+    /// Registered VMs in external-label (`VmId`) order — the iteration
+    /// order the old `BTreeMap`-keyed state exposed.
+    pub fn vm_handles(&self) -> impl Iterator<Item = (VmId, VmHandle)> + '_ {
+        self.state.index.iter().map(|(&id, &h)| (id, h))
+    }
+}
+
 /// The data center: servers, VMs, placement, and accounting.
 ///
 /// # Examples
 ///
 /// ```
-/// use vdc_dcsim::{DataCenter, Server, ServerSpec, VmId, VmSpec};
+/// use vdc_dcsim::{DataCenter, Server, ServerSpec, VmSpec};
 ///
 /// let mut dc = DataCenter::new();
-/// dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
-/// dc.add_vm(VmSpec::new(1, 2.0, 1024.0)).unwrap();
-/// dc.place_vm(VmId(1), 0).unwrap();
+/// let srv = dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+/// let vm = dc.add_vm(VmSpec::new(1, 2.0, 1024.0)).unwrap();
+/// dc.place_vm(vm, srv).unwrap();
 /// dc.apply_dvfs(false).unwrap();
 /// assert!(dc.total_power_watts() > 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct DataCenter {
-    servers: Vec<Server>,
-    vms: BTreeMap<VmId, VmSpec>,
-    placement: BTreeMap<VmId, usize>,
-    hosted: Vec<Vec<VmId>>,
+    state: Arc<DcState>,
     arbitrator: CpuArbitrator,
     /// Migration network bandwidth (MiB/s) used for cost estimates.
     migration_bandwidth_mib_s: f64,
@@ -67,10 +245,7 @@ impl DataCenter {
     /// migration bandwidth.
     pub fn new() -> DataCenter {
         DataCenter {
-            servers: Vec::new(),
-            vms: BTreeMap::new(),
-            placement: BTreeMap::new(),
-            hosted: Vec::new(),
+            state: Arc::new(DcState::default()),
             arbitrator: CpuArbitrator::default(),
             migration_bandwidth_mib_s: 119.0,
             energy_wh: 0.0,
@@ -81,6 +256,12 @@ impl DataCenter {
             freq_transitions: 0,
             wake_energy_wh: 0.0,
         }
+    }
+
+    /// Copy-on-write access to the state block: a no-op pointer deref while
+    /// no [`Snapshot`] is outstanding, one deep copy otherwise.
+    fn state_mut(&mut self) -> &mut DcState {
+        Arc::make_mut(&mut self.state)
     }
 
     /// Replace the CPU arbitrator policy.
@@ -94,97 +275,172 @@ impl DataCenter {
         self.migration_bandwidth_mib_s = mib_s.max(1e-3);
     }
 
+    /// A cheap read-only view of the current state (`Arc` clone; the next
+    /// mutation of `self` copies the block, leaving the snapshot intact).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            state: Arc::clone(&self.state),
+        }
+    }
+
     // ---- topology -------------------------------------------------------
 
-    /// Add a server; returns its index.
-    pub fn add_server(&mut self, server: Server) -> usize {
-        self.servers.push(server);
-        self.hosted.push(Vec::new());
-        self.servers.len() - 1
+    /// Add a server; returns its handle (slot indices are assigned in
+    /// insertion order and never change).
+    pub fn add_server(&mut self, server: Server) -> ServerHandle {
+        let st = self.state_mut();
+        st.servers.push(server);
+        st.hosted.push(Vec::new());
+        ServerHandle::from_index(st.servers.len() - 1)
     }
 
     /// Number of servers.
     pub fn n_servers(&self) -> usize {
-        self.servers.len()
+        self.state.servers.len()
     }
 
     /// Borrow a server.
-    pub fn server(&self, idx: usize) -> Result<&Server> {
-        self.servers.get(idx).ok_or(DcError::UnknownServer(idx))
+    pub fn server(&self, server: ServerHandle) -> Result<&Server> {
+        self.state
+            .servers
+            .get(server.index())
+            .ok_or(DcError::UnknownServer(server.index()))
     }
 
-    /// Indices of currently active servers.
-    pub fn active_servers(&self) -> Vec<usize> {
-        (0..self.servers.len())
-            .filter(|&i| self.servers[i].is_active())
+    /// All servers, slot-indexed.
+    pub fn servers(&self) -> &[Server] {
+        &self.state.servers
+    }
+
+    /// Handles of currently active servers, in slot order.
+    pub fn active_servers(&self) -> Vec<ServerHandle> {
+        (0..self.state.servers.len())
+            .filter(|&i| self.state.servers[i].is_active())
+            .map(ServerHandle::from_index)
             .collect()
     }
 
-    /// Register a VM (initially unplaced).
-    pub fn add_vm(&mut self, spec: VmSpec) -> Result<VmId> {
+    /// Register a VM (initially unplaced); returns its arena handle. The
+    /// spec's `cpu_demand_ghz` seeds the live demand table. The external
+    /// label must be unique among live VMs.
+    pub fn add_vm(&mut self, spec: VmSpec) -> Result<VmHandle> {
         let id = spec.id;
-        if self.vms.contains_key(&id) {
+        if self.state.index.contains_key(&id) {
             return Err(DcError::BadPlacement(format!("VM {id} already exists")));
         }
-        self.vms.insert(id, spec);
-        Ok(id)
+        let st = self.state_mut();
+        let slot = st.vms.len();
+        let h = VmHandle::from_index(slot);
+        st.demand.push(spec.cpu_demand_ghz);
+        st.vms.push(Some(spec));
+        st.placement.push(None);
+        st.index.insert(id, h);
+        Ok(h)
     }
 
-    /// Number of registered VMs.
+    /// Deregister a VM (unplacing it first if hosted) and return its spec.
+    /// The slot becomes permanently vacant — it is never recycled, so every
+    /// outstanding handle to the removed VM stays stale forever instead of
+    /// silently aliasing a later arrival.
+    pub fn remove_vm(&mut self, h: VmHandle) -> Result<VmSpec> {
+        let id = self.state.vm_ref(h)?.id;
+        if self.placement_of(h).is_some() {
+            self.unplace_vm(h)?;
+        }
+        let st = self.state_mut();
+        st.index.remove(&id);
+        st.demand[h.index()] = 0.0;
+        Ok(st.vms[h.index()].take().expect("checked occupied above"))
+    }
+
+    /// Number of registered (live) VMs.
     pub fn n_vms(&self) -> usize {
-        self.vms.len()
+        self.state.index.len()
     }
 
-    /// Borrow a VM spec.
-    pub fn vm(&self, id: VmId) -> Result<&VmSpec> {
-        self.vms.get(&id).ok_or(DcError::UnknownVm(id.0))
+    /// Arena length in slots (live VMs plus permanently vacant slots); the
+    /// bound for slot-enumerating fan-out loops and the length of
+    /// [`DataCenter::demands`].
+    pub fn vm_slots(&self) -> usize {
+        self.state.vms.len()
+    }
+
+    /// Borrow a VM spec (fields are as registered; the *live* demand is
+    /// [`DataCenter::vm_demand`]).
+    pub fn vm(&self, h: VmHandle) -> Result<&VmSpec> {
+        self.state.vm_ref(h)
+    }
+
+    /// Translate an external VM label to its arena handle.
+    pub fn lookup(&self, id: VmId) -> Option<VmHandle> {
+        self.state.index.get(&id).copied()
+    }
+
+    /// Registered VMs in external-label (`VmId`) order — the iteration
+    /// order the old `BTreeMap`-keyed state exposed; label-ordered outputs
+    /// (e.g. final placements) are built from this.
+    pub fn vm_handles(&self) -> impl Iterator<Item = (VmId, VmHandle)> + '_ {
+        self.state.index.iter().map(|(&id, &h)| (id, h))
     }
 
     /// Current server hosting a VM, if placed.
-    pub fn placement_of(&self, id: VmId) -> Option<usize> {
-        self.placement.get(&id).copied()
+    pub fn placement_of(&self, h: VmHandle) -> Option<ServerHandle> {
+        self.state.placement.get(h.index()).copied().flatten()
     }
 
-    /// VMs hosted on a server.
-    pub fn hosted_vms(&self, server: usize) -> Result<&[VmId]> {
-        self.hosted
-            .get(server)
-            .map(|v| v.as_slice())
-            .ok_or(DcError::UnknownServer(server))
+    /// Hosting server per VM slot (`None` = unplaced or vacant slot).
+    pub fn placements(&self) -> &[Option<ServerHandle>] {
+        &self.state.placement
+    }
+
+    /// VMs hosted on a server, in placement order.
+    pub fn hosted_vms(&self, server: ServerHandle) -> Result<&[VmHandle]> {
+        self.state.hosted_on(server)
     }
 
     // ---- demand / capacity ----------------------------------------------
 
-    /// Update a VM's CPU demand (GHz).
-    pub fn set_vm_demand(&mut self, id: VmId, ghz: f64) -> Result<()> {
-        let vm = self.vms.get_mut(&id).ok_or(DcError::UnknownVm(id.0))?;
-        vm.cpu_demand_ghz = ghz.max(0.0);
+    /// Update a VM's CPU demand (GHz, floored at 0).
+    pub fn set_vm_demand(&mut self, h: VmHandle, ghz: f64) -> Result<()> {
+        self.state.vm_ref(h)?;
+        self.state_mut().demand[h.index()] = ghz.max(0.0);
         Ok(())
     }
 
+    /// Current CPU demand (GHz) of a VM.
+    pub fn vm_demand(&self, h: VmHandle) -> Result<f64> {
+        self.state.vm_ref(h)?;
+        Ok(self.state.demand[h.index()])
+    }
+
+    /// The demand table, slot-indexed (vacant slots read 0.0).
+    pub fn demands(&self) -> &[f64] {
+        &self.state.demand
+    }
+
+    /// Mutable access to the whole demand table for sharded per-slot
+    /// updates (`shard::map_slice_mut` hands each worker a disjoint chunk).
+    /// Callers must write non-negative values; entries of vacant slots are
+    /// ignored by every aggregate.
+    pub fn demands_mut(&mut self) -> &mut [f64] {
+        &mut self.state_mut().demand
+    }
+
     /// Aggregate CPU demand hosted on a server (GHz).
-    pub fn server_demand_ghz(&self, server: usize) -> Result<f64> {
-        Ok(self
-            .hosted_vms(server)?
-            .iter()
-            .map(|id| self.vms[id].cpu_demand_ghz)
-            .sum())
+    pub fn server_demand_ghz(&self, server: ServerHandle) -> Result<f64> {
+        self.state.server_demand_ghz(server)
     }
 
     /// Aggregate memory hosted on a server (MiB).
-    pub fn server_memory_mib(&self, server: usize) -> Result<f64> {
-        Ok(self
-            .hosted_vms(server)?
-            .iter()
-            .map(|id| self.vms[id].memory_mib)
-            .sum())
+    pub fn server_memory_mib(&self, server: ServerHandle) -> Result<f64> {
+        self.state.server_memory_mib(server)
     }
 
     /// Whether the aggregate demand exceeds the server's *maximum* capacity
     /// (the overload condition the IPAC invocation resolves, §V).
-    pub fn is_overloaded(&self, server: usize) -> Result<bool> {
+    pub fn is_overloaded(&self, server: ServerHandle) -> Result<bool> {
         let demand = self.server_demand_ghz(server)?;
-        Ok(demand > self.servers[server].spec.max_capacity_ghz() + 1e-12)
+        Ok(demand > self.state.servers[server.index()].spec.max_capacity_ghz() + 1e-12)
     }
 
     // ---- placement & migration ------------------------------------------
@@ -192,66 +448,73 @@ impl DataCenter {
     /// Place an unplaced VM on a server. Wakes the server if sleeping.
     /// Enforces the hard memory constraint; CPU may oversubscribe (it
     /// degrades performance rather than failing).
-    pub fn place_vm(&mut self, id: VmId, server: usize) -> Result<()> {
-        let vm_mem = self.vm(id)?.memory_mib;
-        if server >= self.servers.len() {
-            return Err(DcError::UnknownServer(server));
+    pub fn place_vm(&mut self, h: VmHandle, server: ServerHandle) -> Result<()> {
+        let vm = self.state.vm_ref(h)?;
+        let (id, vm_mem) = (vm.id, vm.memory_mib);
+        let s = server.index();
+        if s >= self.state.servers.len() {
+            return Err(DcError::UnknownServer(s));
         }
-        if self.placement.contains_key(&id) {
+        if self.state.placement[h.index()].is_some() {
             return Err(DcError::BadPlacement(format!(
                 "VM {id} is already placed; use migrate_vm"
             )));
         }
         let used = self.server_memory_mib(server)?;
-        if used + vm_mem > self.servers[server].spec.memory_mib + 1e-9 {
+        if used + vm_mem > self.state.servers[s].spec.memory_mib + 1e-9 {
             return Err(DcError::Invalid(format!(
-                "memory overflow on server {server}: {used} + {vm_mem} > {}",
-                self.servers[server].spec.memory_mib
+                "memory overflow on server {s}: {used} + {vm_mem} > {}",
+                self.state.servers[s].spec.memory_mib
             )));
         }
-        if !self.servers[server].is_active() {
+        if !self.state.servers[s].is_active() {
             self.wake_server(server)?;
         }
-        self.placement.insert(id, server);
-        self.hosted[server].push(id);
+        let st = self.state_mut();
+        st.placement[h.index()] = Some(server);
+        st.hosted[s].push(h);
         Ok(())
     }
 
     /// Remove a VM from its server (it remains registered, unplaced).
-    pub fn unplace_vm(&mut self, id: VmId) -> Result<usize> {
-        let server = self
-            .placement
-            .remove(&id)
+    pub fn unplace_vm(&mut self, h: VmHandle) -> Result<ServerHandle> {
+        let id = self.state.vm_ref(h)?.id;
+        let server = self.state.placement[h.index()]
             .ok_or_else(|| DcError::BadPlacement(format!("VM {id} is not placed")))?;
-        self.hosted[server].retain(|&v| v != id);
+        let st = self.state_mut();
+        st.placement[h.index()] = None;
+        st.hosted[server.index()].retain(|&v| v != h);
         Ok(server)
     }
 
     /// Live-migrate a placed VM to another server, recording the cost.
-    pub fn migrate_vm(&mut self, id: VmId, to: usize) -> Result<MigrationRecord> {
+    pub fn migrate_vm(&mut self, h: VmHandle, to: ServerHandle) -> Result<MigrationRecord> {
+        let id = self.state.vm_ref(h)?.id;
         let from = self
-            .placement_of(id)
+            .placement_of(h)
             .ok_or_else(|| DcError::BadPlacement(format!("VM {id} is not placed")))?;
         if to == from {
             return Err(DcError::BadPlacement(format!(
-                "VM {id} is already on server {to}"
+                "VM {id} is already on server {}",
+                to.index()
             )));
         }
-        self.unplace_vm(id)?;
-        match self.place_vm(id, to) {
+        self.unplace_vm(h)?;
+        match self.place_vm(h, to) {
             Ok(()) => {}
             Err(e) => {
                 // Roll back so the datacenter stays consistent.
-                self.placement.insert(id, from);
-                self.hosted[from].push(id);
+                let st = self.state_mut();
+                st.placement[h.index()] = Some(from);
+                st.hosted[from.index()].push(h);
                 return Err(e);
             }
         }
-        let memory_mib = self.vms[&id].memory_mib;
+        let memory_mib = self.state.vm_ref(h)?.memory_mib;
         let record = MigrationRecord {
             vm: id,
-            from: Some(from),
-            to,
+            from: Some(from.index()),
+            to: to.index(),
             memory_mib,
             duration_s: memory_mib / self.migration_bandwidth_mib_s,
         };
@@ -262,12 +525,18 @@ impl DataCenter {
     /// Record a migration performed via a separate unplace/place pair (bulk
     /// plan execution detaches all movers before re-attaching them, so the
     /// cost cannot be logged by [`DataCenter::migrate_vm`] itself).
-    pub fn note_migration(&mut self, vm: VmId, from: usize, to: usize) -> Result<MigrationRecord> {
-        let memory_mib = self.vm(vm)?.memory_mib;
+    pub fn note_migration(
+        &mut self,
+        h: VmHandle,
+        from: ServerHandle,
+        to: ServerHandle,
+    ) -> Result<MigrationRecord> {
+        let vm = self.state.vm_ref(h)?;
+        let memory_mib = vm.memory_mib;
         let record = MigrationRecord {
-            vm,
-            from: Some(from),
-            to,
+            vm: vm.id,
+            from: Some(from.index()),
+            to: to.index(),
             memory_mib,
             duration_s: memory_mib / self.migration_bandwidth_mib_s,
         };
@@ -283,18 +552,19 @@ impl DataCenter {
     // ---- power state ------------------------------------------------------
 
     /// Put an *empty* active server to sleep.
-    pub fn sleep_server(&mut self, server: usize) -> Result<()> {
-        if server >= self.servers.len() {
-            return Err(DcError::UnknownServer(server));
+    pub fn sleep_server(&mut self, server: ServerHandle) -> Result<()> {
+        let s = server.index();
+        if s >= self.state.servers.len() {
+            return Err(DcError::UnknownServer(s));
         }
-        if !self.hosted[server].is_empty() {
+        if !self.state.hosted[s].is_empty() {
             return Err(DcError::Invalid(format!(
-                "server {server} still hosts {} VMs",
-                self.hosted[server].len()
+                "server {s} still hosts {} VMs",
+                self.state.hosted[s].len()
             )));
         }
-        if self.servers[server].is_active() {
-            self.servers[server].state = ServerState::Sleeping;
+        if self.state.servers[s].is_active() {
+            self.state_mut().servers[s].state = ServerState::Sleeping;
             self.sleep_count += 1;
         }
         Ok(())
@@ -302,15 +572,17 @@ impl DataCenter {
 
     /// Wake a sleeping server (to its maximum frequency; the next DVFS pass
     /// throttles it down).
-    pub fn wake_server(&mut self, server: usize) -> Result<()> {
-        if server >= self.servers.len() {
-            return Err(DcError::UnknownServer(server));
+    pub fn wake_server(&mut self, server: ServerHandle) -> Result<()> {
+        let s = server.index();
+        if s >= self.state.servers.len() {
+            return Err(DcError::UnknownServer(s));
         }
-        if !self.servers[server].is_active() {
-            let spec = &self.servers[server].spec;
-            self.wake_energy_wh += spec.power.static_watts * spec.wake_latency_s / 3600.0;
+        if !self.state.servers[s].is_active() {
+            let spec = &self.state.servers[s].spec;
+            let wake_wh = spec.power.static_watts * spec.wake_latency_s / 3600.0;
             let f = spec.max_freq_ghz;
-            self.servers[server].state = ServerState::Active { freq_ghz: f };
+            self.wake_energy_wh += wake_wh;
+            self.state_mut().servers[s].state = ServerState::Active { freq_ghz: f };
             self.wake_count += 1;
         }
         Ok(())
@@ -339,43 +611,82 @@ impl DataCenter {
         self.wake_energy_wh
     }
 
-    /// Run the CPU resource arbitrator on every active server: set each to
-    /// the lowest DVFS level covering its aggregate demand, and sleep-idle
-    /// servers if `sleep_idle` is set.
-    pub fn apply_dvfs(&mut self, sleep_idle: bool) -> Result<()> {
-        for s in 0..self.servers.len() {
-            if !self.servers[s].is_active() {
-                continue;
+    /// The read-only half of the arbitrator pass for one server: what the
+    /// DVFS step would do, computed from the current state without touching
+    /// it. Pure per-server work — safe to fan out over shard workers; feed
+    /// the index-ordered results to [`DataCenter::apply_dvfs_decisions`].
+    pub fn dvfs_decision(&self, server: ServerHandle, sleep_idle: bool) -> Result<DvfsDecision> {
+        let s = server.index();
+        let srv = self.state.servers.get(s).ok_or(DcError::UnknownServer(s))?;
+        if !srv.is_active() {
+            return Ok(DvfsDecision::Hold);
+        }
+        if self.state.hosted[s].is_empty() && sleep_idle {
+            return Ok(DvfsDecision::Sleep);
+        }
+        let demand = self.state.server_demand_ghz(server)?;
+        Ok(DvfsDecision::Frequency(
+            self.arbitrator.choose_frequency(&srv.spec, demand),
+        ))
+    }
+
+    /// Commit one decision per server (index order, sequential), updating
+    /// transition counters deterministically. Decisions must come from
+    /// [`DataCenter::dvfs_decision`] on this same state — the slice length
+    /// must equal [`DataCenter::n_servers`].
+    pub fn apply_dvfs_decisions(&mut self, decisions: &[DvfsDecision]) -> Result<()> {
+        if decisions.len() != self.state.servers.len() {
+            return Err(DcError::Invalid(format!(
+                "{} DVFS decisions for {} servers",
+                decisions.len(),
+                self.state.servers.len()
+            )));
+        }
+        for (s, d) in decisions.iter().enumerate() {
+            match *d {
+                DvfsDecision::Hold => {}
+                DvfsDecision::Sleep => {
+                    self.sleep_server(ServerHandle::from_index(s))?;
+                }
+                DvfsDecision::Frequency(f) => {
+                    if !matches!(
+                        self.state.servers[s].state,
+                        ServerState::Active { freq_ghz } if freq_ghz == f
+                    ) {
+                        self.freq_transitions += 1;
+                    }
+                    self.state_mut().servers[s].state = ServerState::Active { freq_ghz: f };
+                }
             }
-            if self.hosted[s].is_empty() && sleep_idle {
-                self.sleep_server(s)?;
-                continue;
-            }
-            let demand = self.server_demand_ghz(s)?;
-            let f = self
-                .arbitrator
-                .choose_frequency(&self.servers[s].spec, demand);
-            if !matches!(self.servers[s].state, ServerState::Active { freq_ghz } if freq_ghz == f) {
-                self.freq_transitions += 1;
-            }
-            self.servers[s].state = ServerState::Active { freq_ghz: f };
         }
         Ok(())
+    }
+
+    /// Run the CPU resource arbitrator on every active server: set each to
+    /// the lowest DVFS level covering its aggregate demand, and sleep idle
+    /// servers if `sleep_idle` is set. Single-threaded convenience wrapper
+    /// over the [`DataCenter::dvfs_decision`] /
+    /// [`DataCenter::apply_dvfs_decisions`] pair.
+    pub fn apply_dvfs(&mut self, sleep_idle: bool) -> Result<()> {
+        let decisions = (0..self.n_servers())
+            .map(|s| self.dvfs_decision(ServerHandle::from_index(s), sleep_idle))
+            .collect::<Result<Vec<_>>>()?;
+        self.apply_dvfs_decisions(&decisions)
     }
 
     // ---- power & energy ---------------------------------------------------
 
     /// Instantaneous power of one server (watts).
-    pub fn server_power_watts(&self, server: usize) -> Result<f64> {
+    pub fn server_power_watts(&self, server: ServerHandle) -> Result<f64> {
         let demand = self.server_demand_ghz(server)?;
-        Ok(self.servers[server].power_watts(demand))
+        Ok(self.state.servers[server.index()].power_watts(demand))
     }
 
     /// Instantaneous total power (watts) across all servers.
     pub fn total_power_watts(&self) -> f64 {
-        (0..self.servers.len())
+        (0..self.state.servers.len())
             .map(|s| {
-                self.server_power_watts(s)
+                self.server_power_watts(ServerHandle::from_index(s))
                     .expect("index in range by construction")
             })
             .sum()
@@ -418,52 +729,59 @@ mod tests {
         dc
     }
 
+    fn srv(i: usize) -> ServerHandle {
+        ServerHandle::from_index(i)
+    }
+
     #[test]
     fn add_and_query_topology() {
         let mut dc = dc_with(2);
         assert_eq!(dc.n_servers(), 2);
-        assert!(dc.server(5).is_err());
-        dc.add_vm(VmSpec::new(1, 1.0, 1024.0)).unwrap();
+        assert!(dc.server(srv(5)).is_err());
+        let h = dc.add_vm(VmSpec::new(1, 1.0, 1024.0)).unwrap();
         assert_eq!(dc.n_vms(), 1);
         assert!(dc.add_vm(VmSpec::new(1, 2.0, 512.0)).is_err());
-        assert!(dc.vm(VmId(9)).is_err());
-        assert_eq!(dc.placement_of(VmId(1)), None);
+        assert!(dc.vm(VmHandle::from_index(9)).is_err());
+        assert_eq!(dc.placement_of(h), None);
+        assert_eq!(dc.lookup(VmId(1)), Some(h));
+        assert_eq!(dc.lookup(VmId(9)), None);
     }
 
     #[test]
     fn placement_and_demand_aggregation() {
         let mut dc = dc_with(1);
-        dc.add_vm(VmSpec::new(1, 1.5, 1024.0)).unwrap();
-        dc.add_vm(VmSpec::new(2, 2.0, 2048.0)).unwrap();
-        dc.place_vm(VmId(1), 0).unwrap();
-        dc.place_vm(VmId(2), 0).unwrap();
-        assert_eq!(dc.server_demand_ghz(0).unwrap(), 3.5);
-        assert_eq!(dc.server_memory_mib(0).unwrap(), 3072.0);
-        assert!(!dc.is_overloaded(0).unwrap());
-        dc.set_vm_demand(VmId(1), 11.0).unwrap();
-        assert!(dc.is_overloaded(0).unwrap());
+        let a = dc.add_vm(VmSpec::new(1, 1.5, 1024.0)).unwrap();
+        let b = dc.add_vm(VmSpec::new(2, 2.0, 2048.0)).unwrap();
+        dc.place_vm(a, srv(0)).unwrap();
+        dc.place_vm(b, srv(0)).unwrap();
+        assert_eq!(dc.server_demand_ghz(srv(0)).unwrap(), 3.5);
+        assert_eq!(dc.server_memory_mib(srv(0)).unwrap(), 3072.0);
+        assert!(!dc.is_overloaded(srv(0)).unwrap());
+        dc.set_vm_demand(a, 11.0).unwrap();
+        assert_eq!(dc.vm_demand(a).unwrap(), 11.0);
+        assert!(dc.is_overloaded(srv(0)).unwrap());
         // Double placement rejected.
-        assert!(dc.place_vm(VmId(1), 0).is_err());
+        assert!(dc.place_vm(a, srv(0)).is_err());
     }
 
     #[test]
     fn memory_constraint_enforced() {
         let mut dc = dc_with(1); // 16384 MiB
-        dc.add_vm(VmSpec::new(1, 0.5, 16000.0)).unwrap();
-        dc.add_vm(VmSpec::new(2, 0.5, 1000.0)).unwrap();
-        dc.place_vm(VmId(1), 0).unwrap();
-        let err = dc.place_vm(VmId(2), 0).unwrap_err();
+        let a = dc.add_vm(VmSpec::new(1, 0.5, 16000.0)).unwrap();
+        let b = dc.add_vm(VmSpec::new(2, 0.5, 1000.0)).unwrap();
+        dc.place_vm(a, srv(0)).unwrap();
+        let err = dc.place_vm(b, srv(0)).unwrap_err();
         assert!(matches!(err, DcError::Invalid(_)));
     }
 
     #[test]
     fn placing_on_sleeping_server_wakes_it() {
         let mut dc = DataCenter::new();
-        dc.add_server(Server::asleep(ServerSpec::type_dual_2ghz()));
-        dc.add_vm(VmSpec::new(1, 1.0, 512.0)).unwrap();
+        let s = dc.add_server(Server::asleep(ServerSpec::type_dual_2ghz()));
+        let h = dc.add_vm(VmSpec::new(1, 1.0, 512.0)).unwrap();
         assert!(dc.active_servers().is_empty());
-        dc.place_vm(VmId(1), 0).unwrap();
-        assert_eq!(dc.active_servers(), vec![0]);
+        dc.place_vm(h, s).unwrap();
+        assert_eq!(dc.active_servers(), vec![s]);
         assert_eq!(dc.wake_count(), 1);
     }
 
@@ -471,20 +789,20 @@ mod tests {
     fn migration_moves_vm_and_records_cost() {
         let mut dc = dc_with(2);
         dc.set_migration_bandwidth(100.0);
-        dc.add_vm(VmSpec::new(1, 1.0, 2000.0)).unwrap();
-        dc.place_vm(VmId(1), 0).unwrap();
-        let rec = dc.migrate_vm(VmId(1), 1).unwrap();
+        let h = dc.add_vm(VmSpec::new(1, 1.0, 2000.0)).unwrap();
+        dc.place_vm(h, srv(0)).unwrap();
+        let rec = dc.migrate_vm(h, srv(1)).unwrap();
         assert_eq!(rec.from, Some(0));
         assert_eq!(rec.to, 1);
         assert!((rec.duration_s - 20.0).abs() < 1e-12);
-        assert_eq!(dc.placement_of(VmId(1)), Some(1));
-        assert!(dc.hosted_vms(0).unwrap().is_empty());
+        assert_eq!(dc.placement_of(h), Some(srv(1)));
+        assert!(dc.hosted_vms(srv(0)).unwrap().is_empty());
         assert_eq!(dc.migrations().len(), 1);
         // Self-migration rejected.
-        assert!(dc.migrate_vm(VmId(1), 1).is_err());
+        assert!(dc.migrate_vm(h, srv(1)).is_err());
         // Unplaced VM rejected.
-        dc.add_vm(VmSpec::new(2, 1.0, 512.0)).unwrap();
-        assert!(dc.migrate_vm(VmId(2), 0).is_err());
+        let h2 = dc.add_vm(VmSpec::new(2, 1.0, 512.0)).unwrap();
+        assert!(dc.migrate_vm(h2, srv(0)).is_err());
     }
 
     #[test]
@@ -492,27 +810,27 @@ mod tests {
         let mut dc = DataCenter::new();
         dc.add_server(Server::active(ServerSpec::type_quad_3ghz())); // 16 GiB
         dc.add_server(Server::active(ServerSpec::type_dual_1_5ghz())); // 4 GiB
-        dc.add_vm(VmSpec::new(1, 1.0, 8000.0)).unwrap();
-        dc.place_vm(VmId(1), 0).unwrap();
-        assert!(dc.migrate_vm(VmId(1), 1).is_err());
+        let h = dc.add_vm(VmSpec::new(1, 1.0, 8000.0)).unwrap();
+        dc.place_vm(h, srv(0)).unwrap();
+        assert!(dc.migrate_vm(h, srv(1)).is_err());
         // VM must still be on server 0.
-        assert_eq!(dc.placement_of(VmId(1)), Some(0));
-        assert_eq!(dc.hosted_vms(0).unwrap(), &[VmId(1)]);
+        assert_eq!(dc.placement_of(h), Some(srv(0)));
+        assert_eq!(dc.hosted_vms(srv(0)).unwrap(), &[h]);
         assert!(dc.migrations().is_empty());
     }
 
     #[test]
     fn sleep_requires_empty_server() {
         let mut dc = dc_with(1);
-        dc.add_vm(VmSpec::new(1, 1.0, 512.0)).unwrap();
-        dc.place_vm(VmId(1), 0).unwrap();
-        assert!(dc.sleep_server(0).is_err());
-        dc.unplace_vm(VmId(1)).unwrap();
-        dc.sleep_server(0).unwrap();
+        let h = dc.add_vm(VmSpec::new(1, 1.0, 512.0)).unwrap();
+        dc.place_vm(h, srv(0)).unwrap();
+        assert!(dc.sleep_server(srv(0)).is_err());
+        dc.unplace_vm(h).unwrap();
+        dc.sleep_server(srv(0)).unwrap();
         assert!(dc.active_servers().is_empty());
         assert_eq!(dc.sleep_count(), 1);
         // Sleeping a sleeping server is a no-op.
-        dc.sleep_server(0).unwrap();
+        dc.sleep_server(srv(0)).unwrap();
         assert_eq!(dc.sleep_count(), 1);
     }
 
@@ -520,23 +838,50 @@ mod tests {
     fn dvfs_throttles_and_sleeps_idle() {
         let mut dc = dc_with(2);
         dc.set_arbitrator(CpuArbitrator::new(0.0));
-        dc.add_vm(VmSpec::new(1, 3.5, 1024.0)).unwrap();
-        dc.place_vm(VmId(1), 0).unwrap();
+        let h = dc.add_vm(VmSpec::new(1, 3.5, 1024.0)).unwrap();
+        dc.place_vm(h, srv(0)).unwrap();
         dc.apply_dvfs(true).unwrap();
         // Server 0: demand 3.5 => 1.0 GHz level (capacity 4.0).
-        match dc.server(0).unwrap().state {
+        match dc.server(srv(0)).unwrap().state {
             ServerState::Active { freq_ghz } => assert_eq!(freq_ghz, 1.0),
             _ => panic!("server 0 should stay active"),
         }
         // Server 1 idle => asleep.
-        assert!(!dc.server(1).unwrap().is_active());
+        assert!(!dc.server(srv(1)).unwrap().is_active());
+    }
+
+    #[test]
+    fn two_phase_dvfs_matches_one_shot() {
+        let mut one_shot = dc_with(3);
+        let mut two_phase = one_shot.clone();
+        for (i, dc) in [&mut one_shot, &mut two_phase].into_iter().enumerate() {
+            let _ = i;
+            let a = dc.add_vm(VmSpec::new(1, 3.5, 1024.0)).unwrap();
+            let b = dc.add_vm(VmSpec::new(2, 7.0, 1024.0)).unwrap();
+            dc.place_vm(a, srv(0)).unwrap();
+            dc.place_vm(b, srv(1)).unwrap();
+        }
+        one_shot.apply_dvfs(true).unwrap();
+        let decisions = (0..two_phase.n_servers())
+            .map(|s| two_phase.dvfs_decision(srv(s), true).unwrap())
+            .collect::<Vec<_>>();
+        two_phase.apply_dvfs_decisions(&decisions).unwrap();
+        for s in 0..3 {
+            assert_eq!(
+                one_shot.server(srv(s)).unwrap().state,
+                two_phase.server(srv(s)).unwrap().state,
+                "server {s}"
+            );
+        }
+        assert_eq!(one_shot.dvfs_transitions(), two_phase.dvfs_transitions());
+        assert_eq!(one_shot.sleep_count(), two_phase.sleep_count());
     }
 
     #[test]
     fn power_and_energy_accounting() {
         let mut dc = dc_with(1);
-        dc.add_vm(VmSpec::new(1, 6.0, 1024.0)).unwrap();
-        dc.place_vm(VmId(1), 0).unwrap();
+        let h = dc.add_vm(VmSpec::new(1, 6.0, 1024.0)).unwrap();
+        dc.place_vm(h, srv(0)).unwrap();
         // Active at 3 GHz, u = 0.5: P = 190 + 130*0.5 = 255 W.
         assert!((dc.total_power_watts() - 255.0).abs() < 1e-9);
         dc.accumulate_energy(3600.0);
@@ -551,15 +896,15 @@ mod tests {
     fn consolidation_saves_energy_end_to_end() {
         // Two lightly loaded servers vs one consolidated + one asleep.
         let mut spread = dc_with(2);
-        for i in 0..2 {
-            spread.add_vm(VmSpec::new(i, 1.0, 1024.0)).unwrap();
-            spread.place_vm(VmId(i), i as usize).unwrap();
+        for i in 0..2u64 {
+            let h = spread.add_vm(VmSpec::new(i, 1.0, 1024.0)).unwrap();
+            spread.place_vm(h, srv(i as usize)).unwrap();
         }
         spread.apply_dvfs(true).unwrap();
         let mut packed = dc_with(2);
-        for i in 0..2 {
-            packed.add_vm(VmSpec::new(i, 1.0, 1024.0)).unwrap();
-            packed.place_vm(VmId(i), 0).unwrap();
+        for i in 0..2u64 {
+            let h = packed.add_vm(VmSpec::new(i, 1.0, 1024.0)).unwrap();
+            packed.place_vm(h, srv(0)).unwrap();
         }
         packed.apply_dvfs(true).unwrap();
         assert!(
@@ -572,9 +917,135 @@ mod tests {
 }
 
 #[cfg(test)]
+mod arena_tests {
+    use super::*;
+    use crate::server::ServerSpec;
+
+    fn srv(i: usize) -> ServerHandle {
+        ServerHandle::from_index(i)
+    }
+
+    #[test]
+    fn stale_handle_is_rejected_everywhere_after_removal() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        let h = dc.add_vm(VmSpec::new(7, 1.0, 512.0)).unwrap();
+        dc.place_vm(h, srv(0)).unwrap();
+        let spec = dc.remove_vm(h).unwrap();
+        assert_eq!(spec.id, VmId(7));
+        assert_eq!(dc.n_vms(), 0);
+        assert!(dc.hosted_vms(srv(0)).unwrap().is_empty(), "unplaced first");
+        for err in [
+            dc.vm(h).unwrap_err(),
+            dc.vm_demand(h).unwrap_err(),
+            dc.remove_vm(h).unwrap_err(),
+        ] {
+            assert_eq!(err, DcError::StaleHandle(h.index()));
+        }
+        assert!(matches!(
+            dc.set_vm_demand(h, 2.0),
+            Err(DcError::StaleHandle(_))
+        ));
+        assert!(matches!(
+            dc.place_vm(h, srv(0)),
+            Err(DcError::StaleHandle(_))
+        ));
+        assert!(matches!(dc.unplace_vm(h), Err(DcError::StaleHandle(_))));
+        assert!(matches!(
+            dc.migrate_vm(h, srv(0)),
+            Err(DcError::StaleHandle(_))
+        ));
+        assert_eq!(dc.placement_of(h), None);
+    }
+
+    #[test]
+    fn removed_slots_are_never_recycled() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        let a = dc.add_vm(VmSpec::new(1, 1.0, 512.0)).unwrap();
+        let b = dc.add_vm(VmSpec::new(2, 1.0, 512.0)).unwrap();
+        dc.remove_vm(a).unwrap();
+        // Re-adding the same label lands in a fresh slot, not slot 0.
+        let a2 = dc.add_vm(VmSpec::new(1, 2.0, 512.0)).unwrap();
+        assert_ne!(a2, a);
+        assert_eq!(a2.index(), 2);
+        assert_eq!(dc.vm_slots(), 3, "tombstone slot is kept");
+        assert_eq!(dc.n_vms(), 2);
+        // The stale handle still refuses to alias the new arrival.
+        assert!(dc.vm(a).is_err());
+        assert_eq!(dc.lookup(VmId(1)), Some(a2));
+        assert_eq!(dc.vm_demand(a2).unwrap(), 2.0);
+        // Untouched VM is unaffected.
+        assert_eq!(dc.vm(b).unwrap().id, VmId(2));
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_mutation() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        let h = dc.add_vm(VmSpec::new(1, 1.5, 512.0)).unwrap();
+        dc.place_vm(h, srv(0)).unwrap();
+        let snap = dc.snapshot();
+        // Mutate the live state in every dimension the snapshot can see.
+        dc.set_vm_demand(h, 9.0).unwrap();
+        dc.migrate_vm(h, srv(1)).unwrap();
+        dc.apply_dvfs(true).unwrap();
+        // The snapshot still shows the pre-mutation world...
+        assert_eq!(snap.vm_demand(h).unwrap(), 1.5);
+        assert_eq!(snap.placement_of(h), Some(srv(0)));
+        assert_eq!(snap.hosted_vms(srv(0)).unwrap(), &[h]);
+        assert!(snap.server(srv(1)).unwrap().is_active());
+        // ...while the live state moved on.
+        assert_eq!(dc.vm_demand(h).unwrap(), 9.0);
+        assert_eq!(dc.placement_of(h), Some(srv(1)));
+    }
+
+    #[test]
+    fn snapshots_share_storage_until_a_mutation() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        let h = dc.add_vm(VmSpec::new(1, 1.0, 512.0)).unwrap();
+        let a = dc.snapshot();
+        let b = dc.snapshot();
+        // Snapshots are Arc clones of one block — no deep copy yet.
+        assert!(Arc::ptr_eq(&a.state, &b.state));
+        // Read-only traffic on the live state does not fork it either.
+        let _ = dc.total_power_watts();
+        let _ = dc.vm_demand(h).unwrap();
+        assert!(Arc::ptr_eq(&a.state, &dc.snapshot().state));
+        // The first mutation forks the block; the snapshots keep the old one.
+        dc.set_vm_demand(h, 2.0).unwrap();
+        assert!(!Arc::ptr_eq(&a.state, &dc.snapshot().state));
+        assert!(Arc::ptr_eq(&a.state, &b.state));
+        assert_eq!(a.vm_demand(h).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn label_order_iteration_matches_btreemap_semantics() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        // Insert labels out of order; iteration must come back sorted,
+        // exactly as the old BTreeMap-keyed state iterated.
+        for id in [9u64, 2, 40, 17] {
+            dc.add_vm(VmSpec::new(id, 0.5, 256.0)).unwrap();
+        }
+        let labels: Vec<u64> = dc.vm_handles().map(|(id, _)| id.0).collect();
+        assert_eq!(labels, vec![2, 9, 17, 40]);
+        let snap = dc.snapshot();
+        let snap_labels: Vec<u64> = snap.vm_handles().map(|(id, _)| id.0).collect();
+        assert_eq!(snap_labels, labels);
+    }
+}
+
+#[cfg(test)]
 mod accounting_tests {
     use super::*;
     use crate::server::ServerSpec;
+
+    fn srv(i: usize) -> ServerHandle {
+        ServerHandle::from_index(i)
+    }
 
     #[test]
     fn wake_energy_accrues_per_transition() {
@@ -583,14 +1054,14 @@ mod accounting_tests {
         let expected = spec.power.static_watts * spec.wake_latency_s / 3600.0;
         dc.add_server(Server::asleep(spec));
         assert_eq!(dc.wake_energy_wh(), 0.0);
-        dc.wake_server(0).unwrap();
+        dc.wake_server(srv(0)).unwrap();
         assert!((dc.wake_energy_wh() - expected).abs() < 1e-12);
         // Waking an already-active server adds nothing.
-        dc.wake_server(0).unwrap();
+        dc.wake_server(srv(0)).unwrap();
         assert!((dc.wake_energy_wh() - expected).abs() < 1e-12);
         // Sleep and wake again: a second transition is charged.
-        dc.sleep_server(0).unwrap();
-        dc.wake_server(0).unwrap();
+        dc.sleep_server(srv(0)).unwrap();
+        dc.wake_server(srv(0)).unwrap();
         assert!((dc.wake_energy_wh() - 2.0 * expected).abs() < 1e-12);
     }
 
@@ -600,17 +1071,19 @@ mod accounting_tests {
         dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
         dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
         dc.set_migration_bandwidth(100.0);
-        dc.add_vm(VmSpec::new(1, 1.0, 1500.0)).unwrap();
-        dc.place_vm(VmId(1), 0).unwrap();
+        let h = dc.add_vm(VmSpec::new(1, 1.0, 1500.0)).unwrap();
+        dc.place_vm(h, srv(0)).unwrap();
         // Simulate a bulk-plan execution: detach, attach, note.
-        dc.unplace_vm(VmId(1)).unwrap();
-        dc.place_vm(VmId(1), 1).unwrap();
-        let rec = dc.note_migration(VmId(1), 0, 1).unwrap();
+        dc.unplace_vm(h).unwrap();
+        dc.place_vm(h, srv(1)).unwrap();
+        let rec = dc.note_migration(h, srv(0), srv(1)).unwrap();
         assert_eq!(rec.from, Some(0));
         assert_eq!(rec.to, 1);
         assert!((rec.duration_s - 15.0).abs() < 1e-12);
         assert_eq!(dc.migrations().len(), 1);
-        // Unknown VM is rejected.
-        assert!(dc.note_migration(VmId(99), 0, 1).is_err());
+        // A stale handle is rejected.
+        assert!(dc
+            .note_migration(VmHandle::from_index(99), srv(0), srv(1))
+            .is_err());
     }
 }

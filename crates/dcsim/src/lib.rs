@@ -23,10 +23,10 @@ pub mod power;
 pub mod server;
 pub mod vm;
 
-pub use datacenter::{DataCenter, MigrationRecord};
+pub use datacenter::{DataCenter, DvfsDecision, MigrationRecord, Snapshot};
 pub use power::PowerModel;
-pub use server::{CpuArbitrator, Server, ServerSpec, ServerState};
-pub use vm::{VmId, VmSpec};
+pub use server::{CpuArbitrator, Server, ServerHandle, ServerSpec, ServerState};
+pub use vm::{VmHandle, VmId, VmSpec};
 
 /// Errors from data-center operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +35,9 @@ pub enum DcError {
     UnknownVm(u64),
     /// Referenced an unknown server.
     UnknownServer(usize),
+    /// Used a [`VmHandle`] whose arena slot is vacant (the VM was removed;
+    /// slots are never recycled) or out of range.
+    StaleHandle(usize),
     /// VM is already placed / not placed as required.
     BadPlacement(String),
     /// Capacity or configuration violation.
@@ -46,6 +49,7 @@ impl std::fmt::Display for DcError {
         match self {
             DcError::UnknownVm(id) => write!(f, "unknown VM {id}"),
             DcError::UnknownServer(id) => write!(f, "unknown server {id}"),
+            DcError::StaleHandle(slot) => write!(f, "stale VM handle for slot {slot}"),
             DcError::BadPlacement(s) => write!(f, "bad placement: {s}"),
             DcError::Invalid(s) => write!(f, "invalid: {s}"),
         }

@@ -7,6 +7,36 @@
 
 use crate::power::PowerModel;
 
+/// Copyable handle addressing one server slot in the
+/// [`crate::DataCenter`] arena.
+///
+/// Servers are never removed, so a server handle obtained from
+/// [`crate::DataCenter::add_server`] stays valid for the lifetime of the
+/// data center; an out-of-range handle yields
+/// [`crate::DcError::UnknownServer`] at the use site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerHandle(usize);
+
+impl ServerHandle {
+    /// Handle for a server slot index. Intended for fan-out loops that
+    /// enumerate servers (`0..n_servers`) and for converting the raw
+    /// indices carried by consolidation plans back into handles.
+    pub fn from_index(slot: usize) -> ServerHandle {
+        ServerHandle(slot)
+    }
+
+    /// The arena slot this handle addresses.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "srv#{}", self.0)
+    }
+}
+
 /// Static description of a server model (the "catalog" entry).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerSpec {

@@ -7,12 +7,48 @@
 //! back to their application.
 
 /// Opaque VM identifier, unique within a [`crate::DataCenter`].
+///
+/// This is the *external label* of a VM — the name a trace row, a packing
+/// item, or a migration record carries. Runtime state is addressed by
+/// [`VmHandle`], the dense arena slot; [`crate::DataCenter::lookup`]
+/// translates label to handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VmId(pub u64);
 
 impl std::fmt::Display for VmId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "vm{}", self.0)
+    }
+}
+
+/// Copyable handle addressing one VM slot in the [`crate::DataCenter`]
+/// arena.
+///
+/// Handles are stable: a slot index never changes while the VM is
+/// registered, and removed slots are never recycled, so a handle is either
+/// valid or permanently stale (stale use returns
+/// [`crate::DcError::StaleHandle`]). Obtained from
+/// [`crate::DataCenter::add_vm`] or [`crate::DataCenter::lookup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmHandle(usize);
+
+impl VmHandle {
+    /// Handle for an arena slot index. Intended for fan-out loops that
+    /// enumerate slots (`0..arena_len`); an out-of-range or vacant index
+    /// yields [`crate::DcError::StaleHandle`] at the use site, never UB.
+    pub fn from_index(slot: usize) -> VmHandle {
+        VmHandle(slot)
+    }
+
+    /// The arena slot this handle addresses.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for VmHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm#{}", self.0)
     }
 }
 

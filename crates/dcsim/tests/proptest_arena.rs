@@ -1,0 +1,90 @@
+//! Property gate for the arena redesign: the handle-addressed `DataCenter`
+//! must present exactly the iteration semantics of the `BTreeMap<VmId, _>`
+//! state it replaced. For *arbitrary* interleavings of VM registration and
+//! removal with arbitrary (colliding, out-of-order) labels,
+//! `vm_handles()` must walk the live population in ascending-`VmId` order —
+//! the order every label-keyed output (`final_placements`, pack items)
+//! inherits. Failures replay with `VDC_CHECK_SEED`.
+
+use vdc_check::{check, from_fn, prop_assert, prop_assert_eq, Gen, TestRng};
+use vdc_dcsim::{DataCenter, VmId, VmSpec};
+
+const CASES: u32 = 48;
+
+/// One add/remove script: positive label = register `VmId(label)` (a
+/// duplicate registration is expected to be rejected), negative = remove
+/// the oldest-registered VM still alive.
+#[derive(Debug, Clone)]
+struct Script {
+    ops: Vec<i64>,
+}
+
+fn script() -> impl Gen<Value = Script> {
+    from_fn(|rng: &mut TestRng| {
+        let n_ops = rng.usize_in(1, 40);
+        let ops = (0..n_ops)
+            .map(|_| {
+                if rng.usize_in(0, 3) == 0 {
+                    -1
+                } else {
+                    // A small label space forces duplicate registrations.
+                    rng.u64_in(0, 12) as i64
+                }
+            })
+            .collect();
+        Script { ops }
+    })
+}
+
+#[test]
+fn handle_iteration_matches_btreemap_key_order() {
+    check(CASES, &script(), |s| {
+        let mut dc = DataCenter::new();
+        // The reference semantics: the BTreeMap keyed by VmId that the
+        // arena replaced.
+        let mut reference = std::collections::BTreeMap::new();
+        let mut alive_fifo = Vec::new();
+        for &op in &s.ops {
+            if op >= 0 {
+                let id = VmId(op as u64);
+                let added = dc.add_vm(VmSpec::new(id.0, 0.5, 256.0));
+                prop_assert_eq!(
+                    added.is_ok(),
+                    !reference.contains_key(&id),
+                    "duplicate acceptance diverged for {:?}",
+                    id
+                );
+                if let Ok(handle) = added {
+                    reference.insert(id, handle);
+                    alive_fifo.push(id);
+                }
+            } else if !alive_fifo.is_empty() {
+                let id = alive_fifo.remove(0);
+                let handle = reference.remove(&id).expect("reference tracks live VMs");
+                dc.remove_vm(handle).expect("live handle removes cleanly");
+            }
+        }
+        let arena_order: Vec<(VmId, _)> = dc.vm_handles().collect();
+        let btree_order: Vec<(VmId, _)> = reference.iter().map(|(&id, &h)| (id, h)).collect();
+        prop_assert_eq!(
+            &arena_order,
+            &btree_order,
+            "arena iteration must walk ascending VmId like the old BTreeMap"
+        );
+        prop_assert_eq!(dc.n_vms(), reference.len(), "live population size");
+        let mut prev: Option<VmId> = None;
+        for &(id, handle) in &arena_order {
+            if let Some(p) = prev {
+                prop_assert!(
+                    p < id,
+                    "order not strictly ascending: {:?} then {:?}",
+                    p,
+                    id
+                );
+            }
+            prev = Some(id);
+            prop_assert_eq!(dc.lookup(id), Some(handle), "lookup({:?})", id);
+        }
+        Ok(())
+    });
+}

@@ -11,6 +11,7 @@
 //! ```
 
 use vdcpower::core::largescale::{run_large_scale, LargeScaleConfig, OptimizerKind};
+use vdcpower::core::RunOptions;
 use vdcpower::dcsim::ServerSpec;
 use vdcpower::trace::{generate_trace, trace_stats, TraceConfig};
 
@@ -61,7 +62,7 @@ fn main() {
         for kind in [OptimizerKind::Ipac, OptimizerKind::Pmapper] {
             let mut cfg = LargeScaleConfig::new(n_vms, kind);
             cfg.n_servers = Some(n_servers);
-            match run_large_scale(&trace, &cfg) {
+            match run_large_scale(&trace, &cfg, &RunOptions::default()) {
                 Ok(r) => {
                     row.push(format!("{:>14.1}", r.energy_per_vm_wh));
                     if kind == OptimizerKind::Ipac {

@@ -10,7 +10,7 @@ use vdcpower::consolidate::constraint::AndConstraint;
 use vdcpower::consolidate::ipac::{ipac_plan, IpacConfig};
 use vdcpower::consolidate::policy::{AlwaysAllow, BandwidthBudget};
 use vdcpower::consolidate::view::{apply_plan, snapshot};
-use vdcpower::dcsim::{DataCenter, Server, ServerSpec, VmId, VmSpec};
+use vdcpower::dcsim::{DataCenter, Server, ServerHandle, ServerSpec, VmSpec};
 
 fn build_spread_datacenter() -> DataCenter {
     let mut dc = DataCenter::new();
@@ -27,8 +27,9 @@ fn build_spread_datacenter() -> DataCenter {
     // 24 VMs spread round-robin (the anti-pattern consolidation fixes).
     for i in 0..24u64 {
         let demand = 0.3 + 0.05 * (i % 7) as f64;
-        dc.add_vm(VmSpec::new(i, demand, 768.0)).unwrap();
-        dc.place_vm(VmId(i), (i % 12) as usize).unwrap();
+        let vm = dc.add_vm(VmSpec::new(i, demand, 768.0)).unwrap();
+        dc.place_vm(vm, ServerHandle::from_index((i % 12) as usize))
+            .unwrap();
     }
     dc
 }

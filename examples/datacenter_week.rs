@@ -9,6 +9,7 @@
 //! ```
 
 use vdcpower::core::largescale::{run_large_scale, LargeScaleConfig, OptimizerKind};
+use vdcpower::core::RunOptions;
 use vdcpower::trace::{generate_trace, TraceConfig, UtilizationTrace};
 
 fn main() {
@@ -53,7 +54,12 @@ fn main() {
         ("IPAC (no DVFS)", OptimizerKind::IpacNoDvfs),
         ("pMapper", OptimizerKind::Pmapper),
     ] {
-        let r = run_large_scale(&trace, &LargeScaleConfig::new(n_vms, kind)).unwrap();
+        let r = run_large_scale(
+            &trace,
+            &LargeScaleConfig::new(n_vms, kind),
+            &RunOptions::default(),
+        )
+        .unwrap();
         println!(
             "{:<16} {:>12.1} {:>12} {:>12.1} {:>14}",
             name, r.energy_per_vm_wh, r.migrations, r.mean_active_servers, r.optimizer_invocations

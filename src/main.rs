@@ -27,8 +27,9 @@ use vdcpower::control::analysis::{achievable_range, analyze_closed_loop};
 use vdcpower::control::{MpcConfig, ReferenceTrajectory};
 use vdcpower::core::controller::{identify_plant, IdentificationConfig};
 use vdcpower::core::experiments::MeanStd;
-use vdcpower::core::largescale::{run_large_scale_with_telemetry, LargeScaleConfig, OptimizerKind};
+use vdcpower::core::largescale::{run_large_scale, LargeScaleConfig, OptimizerKind};
 use vdcpower::core::testbed::{Testbed, TestbedConfig};
+use vdcpower::core::RunOptions;
 use vdcpower::telemetry::export::write_metrics;
 use vdcpower::telemetry::{Reporter, Telemetry};
 use vdcpower::trace::{generate_trace, trace_stats, TraceConfig, UtilizationTrace};
@@ -218,7 +219,11 @@ fn cmd_largescale(args: &[String], reporter: &Reporter) -> ExitCode {
     let telemetry = Telemetry::enabled();
     let mut cfg = LargeScaleConfig::new(n_vms, optimizer);
     cfg.shards = shards;
-    match run_large_scale_with_telemetry(&trace, &cfg, &telemetry) {
+    match run_large_scale(
+        &trace,
+        &cfg,
+        &RunOptions::default().with_telemetry(&telemetry),
+    ) {
         Ok(r) => {
             println!("  energy per VM     {:.1} Wh", r.energy_per_vm_wh);
             println!("  total energy      {:.1} Wh", r.total_energy_wh);

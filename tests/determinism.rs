@@ -8,7 +8,8 @@
 //! iteration, thread interleaving, platform math differences inside one
 //! build) a hard failure.
 
-use vdc_core::cosim::{run_cosim, run_cosim_with_telemetry, CosimConfig, CosimResult};
+use vdc_core::cosim::{run_cosim, CosimConfig, CosimResult};
+use vdc_core::RunOptions;
 use vdc_telemetry::Telemetry;
 use vdc_trace::{generate_trace, TraceConfig};
 
@@ -26,7 +27,7 @@ fn small_run(seed: u64) -> CosimResult {
         seed,
         ..Default::default()
     };
-    run_cosim(&trace, &cfg).expect("co-simulation runs")
+    run_cosim(&trace, &cfg, &RunOptions::default()).expect("co-simulation runs")
 }
 
 fn bits(series: &[f64]) -> Vec<u64> {
@@ -71,8 +72,12 @@ fn telemetry_does_not_perturb_the_simulation() {
         ..Default::default()
     };
     let telemetry = Telemetry::enabled();
-    let instrumented =
-        run_cosim_with_telemetry(&trace, &cfg, &telemetry).expect("instrumented run");
+    let instrumented = run_cosim(
+        &trace,
+        &cfg,
+        &RunOptions::default().with_telemetry(&telemetry),
+    )
+    .expect("instrumented run");
     assert_eq!(
         bits(&plain.power_series_w),
         bits(&instrumented.power_series_w),

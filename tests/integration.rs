@@ -3,10 +3,11 @@
 
 use vdcpower::consolidate::item::PackItem;
 use vdcpower::core::controller::IdentificationConfig;
-use vdcpower::core::experiments::{fig2, fig6, MeanStd};
+use vdcpower::core::experiments::{fig2, fig6, Fig6Config, MeanStd};
 use vdcpower::core::largescale::{run_large_scale, LargeScaleConfig, OptimizerKind};
 use vdcpower::core::optimizer::{OptimizerConfig, PowerOptimizer};
 use vdcpower::core::testbed::{Testbed, TestbedConfig};
+use vdcpower::core::RunOptions;
 use vdcpower::dcsim::VmId;
 use vdcpower::trace::{generate_trace, TraceConfig};
 
@@ -87,7 +88,7 @@ fn large_scale_shapes_match_the_paper() {
         interval_s: 900.0,
         seed: 1234,
     });
-    let points = fig6(&trace, &[40, 80]).expect("fig6 runs");
+    let points = fig6(&trace, &Fig6Config::new([40, 80])).expect("fig6 runs");
     assert_eq!(points.len(), 2);
     for p in &points {
         // The headline claim: IPAC consumes less energy per VM.
@@ -109,7 +110,12 @@ fn migration_counters_and_energy_are_consistent() {
         interval_s: 900.0,
         seed: 77,
     });
-    let r = run_large_scale(&trace, &LargeScaleConfig::new(30, OptimizerKind::Ipac)).expect("run");
+    let r = run_large_scale(
+        &trace,
+        &LargeScaleConfig::new(30, OptimizerKind::Ipac),
+        &RunOptions::default(),
+    )
+    .expect("run");
     assert_eq!(r.n_vms, 30);
     assert!((r.energy_per_vm_wh * 30.0 - r.total_energy_wh).abs() < 1e-6);
     assert!(r.mean_active_servers <= r.peak_active_servers as f64);
@@ -121,7 +127,7 @@ fn migration_counters_and_energy_are_consistent() {
 fn optimizer_places_new_vms_against_live_datacenter() {
     use vdcpower::dcsim::{DataCenter, Server, ServerSpec, VmSpec};
     let mut dc = DataCenter::new();
-    dc.add_server(Server::asleep(ServerSpec::type_quad_3ghz()));
+    let quad = dc.add_server(Server::asleep(ServerSpec::type_quad_3ghz()));
     dc.add_server(Server::asleep(ServerSpec::type_dual_1_5ghz()));
     let mut items = Vec::new();
     for i in 0..4u64 {
@@ -132,7 +138,7 @@ fn optimizer_places_new_vms_against_live_datacenter() {
     let stats = opt.optimize(&mut dc, &items).unwrap();
     assert_eq!(stats.placements, 4);
     // All four fit on the efficient quad; the small server stays asleep.
-    assert_eq!(dc.active_servers(), vec![0]);
+    assert_eq!(dc.active_servers(), vec![quad]);
 }
 
 #[test]

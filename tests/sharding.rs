@@ -14,10 +14,9 @@
 //! `ci.sh` additionally runs this suite with `VDC_SHARDS=1` and
 //! `VDC_SHARDS=8`, which the env-driven test below picks up.
 
-use vdc_core::cosim::{run_cosim_with_telemetry, CosimConfig, CosimResult};
-use vdc_core::largescale::{
-    run_large_scale_with_series, LargeScaleConfig, LargeScaleResult, OptimizerKind,
-};
+use vdc_core::cosim::{run_cosim, CosimConfig, CosimResult};
+use vdc_core::largescale::{run_large_scale, LargeScaleConfig, LargeScaleResult, OptimizerKind};
+use vdc_core::RunOptions;
 use vdc_telemetry::Telemetry;
 use vdc_trace::{generate_trace, TraceConfig, UtilizationTrace};
 
@@ -67,11 +66,13 @@ fn cosim_at(trace: &UtilizationTrace, shards: usize) -> (CosimResult, Telemetry)
         control_periods_per_sample: 2,
         optimizer_period_samples: 8,
         seed: 0x5A4D,
-        shards,
         ..Default::default()
     };
     let telemetry = Telemetry::enabled();
-    let result = run_cosim_with_telemetry(trace, &cfg, &telemetry).expect("cosim runs");
+    let opts = RunOptions::default()
+        .with_telemetry(&telemetry)
+        .with_shards(shards);
+    let result = run_cosim(trace, &cfg, &opts).expect("cosim runs");
     (result, telemetry)
 }
 
@@ -128,12 +129,14 @@ fn largescale_at(
     trace: &UtilizationTrace,
     shards: usize,
 ) -> (LargeScaleResult, Vec<u64>, Telemetry) {
-    let mut cfg = LargeScaleConfig::new(30, OptimizerKind::Ipac);
-    cfg.shards = shards;
+    let cfg = LargeScaleConfig::new(30, OptimizerKind::Ipac);
     let telemetry = Telemetry::enabled();
-    let (result, series) =
-        run_large_scale_with_series(trace, &cfg, &telemetry).expect("replay runs");
-    let series_bits = series.iter().map(|s| s.power_w.to_bits()).collect();
+    let opts = RunOptions::default()
+        .with_telemetry(&telemetry)
+        .with_shards(shards)
+        .with_series();
+    let result = run_large_scale(trace, &cfg, &opts).expect("replay runs");
+    let series_bits = result.series.iter().map(|s| s.power_w.to_bits()).collect();
     (result, series_bits, telemetry)
 }
 
@@ -182,17 +185,38 @@ fn largescale_is_bit_identical_across_shard_counts() {
     }
 }
 
+fn env_shards() -> usize {
+    std::env::var("VDC_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// CI entry point: `VDC_SHARDS=N` pins an extra shard count to verify
 /// against the single-threaded baseline (ci.sh runs 1 and 8). Unset, it
 /// exercises the auto mode (`shards = 0`, host parallelism).
 #[test]
 fn env_selected_shard_count_matches_baseline() {
-    let shards: usize = std::env::var("VDC_SHARDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    let shards = env_shards();
     let trace = fast_trace(6, 0xC1);
     let (baseline, _) = cosim_at(&trace, 1);
     let (r, _) = cosim_at(&trace, shards);
     assert_cosim_identical(&baseline, &r, &format!("cosim VDC_SHARDS={shards}"));
+}
+
+/// Trace-replay twin of the env-driven gate: the same `VDC_SHARDS` matrix
+/// must also leave the week replay — per-sample demand updates, DVFS
+/// passes, and the power series — bit-identical to the single-threaded
+/// baseline.
+#[test]
+fn env_selected_shard_count_matches_replay_baseline() {
+    let shards = env_shards();
+    let trace = fast_trace(30, 0xC2);
+    let (baseline, base_series, _) = largescale_at(&trace, 1);
+    let (r, series, _) = largescale_at(&trace, shards);
+    assert_largescale_identical(&baseline, &r, &format!("largescale VDC_SHARDS={shards}"));
+    assert_eq!(
+        base_series, series,
+        "largescale VDC_SHARDS={shards}: power series diverged"
+    );
 }

@@ -10,7 +10,8 @@
 //! lock contention on the hot path), not to benchmark.
 
 use std::time::Instant;
-use vdc_core::cosim::{run_cosim_with_telemetry, CosimConfig};
+use vdc_core::cosim::{run_cosim, CosimConfig};
+use vdc_core::RunOptions;
 use vdc_telemetry::Telemetry;
 use vdc_trace::{generate_trace, TraceConfig};
 
@@ -33,7 +34,12 @@ fn timed_run(telemetry: &Telemetry) -> f64 {
         ..Default::default()
     };
     let t = Instant::now();
-    run_cosim_with_telemetry(&trace, &cfg, telemetry).expect("run");
+    run_cosim(
+        &trace,
+        &cfg,
+        &RunOptions::default().with_telemetry(telemetry),
+    )
+    .expect("run");
     t.elapsed().as_secs_f64()
 }
 
