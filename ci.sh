@@ -18,6 +18,22 @@ run() {
     "$@"
 }
 
+# Hermeticity: the dependency graph must be path-only. Every package that
+# `cargo metadata` can see must either live in this workspace (null
+# "source") or not resolve at all; any registry/git source is a regression.
+run_metadata_check() {
+    echo "==> hermeticity: cargo metadata --offline lists only path dependencies"
+    local sources
+    sources=$(cargo metadata --format-version 1 --offline |
+        tr ',' '\n' | grep -o '"source":"[^"]*"' | sort -u || true)
+    if [ -n "$sources" ]; then
+        echo "non-path dependency sources found:" >&2
+        echo "$sources" >&2
+        exit 1
+    fi
+}
+run_metadata_check
+
 run cargo fmt --check
 run cargo clippy --all-targets --offline -- -D warnings
 run cargo build --release --offline
@@ -32,14 +48,36 @@ run cargo doc --no-deps --offline
 # ratio reflects real relative cost, not debug-build noise).
 run cargo test -q --release --offline --test telemetry_overhead
 
-# Shard-equivalence gate at both ends of the shard range: the sharded
-# replay/co-sim must be bit-identical to the single-threaded run whether
-# the env pins 1 worker or 8. tests/sharding.rs reads VDC_SHARDS in both
+# Shard-equivalence gate: the sharded replay/co-sim must be bit-identical
+# to the single-threaded run. tests/sharding.rs reads VDC_SHARDS in both
 # its co-sim gate and its trace-replay twin (demand update + DVFS pass +
-# power series), so each matrix entry covers the full replay path.
-run env VDC_SHARDS=1 cargo test -q --offline --test sharding
-run env VDC_SHARDS=8 cargo test -q --offline --test sharding
-run env VDC_SHARDS=1 cargo test -q --offline --test sharding env_selected_shard_count_matches_replay_baseline
-run env VDC_SHARDS=8 cargo test -q --offline --test sharding env_selected_shard_count_matches_replay_baseline
+# power series), so each entry covers the full replay path. When the
+# workflow matrix pins VDC_SHARDS we run just that count; a bare local
+# invocation sweeps both ends of the shard range.
+if [ -n "${VDC_SHARDS:-}" ]; then
+    shard_counts=("$VDC_SHARDS")
+else
+    shard_counts=(1 8)
+fi
+for n in "${shard_counts[@]}"; do
+    run env VDC_SHARDS="$n" cargo test -q --offline --test sharding
+    run env VDC_SHARDS="$n" cargo test -q --offline --test sharding \
+        env_selected_shard_count_matches_replay_baseline
+done
+
+# Results-regression gate: re-run the cheap experiment bins from a scratch
+# working directory (they write results/ relative to cwd) and diff the
+# fresh METRICS_*.json against the committed baselines. Deterministic
+# counters/gauges/SLO fields must match; schema drift vs vdc-metrics/1 is
+# a hard failure. Intentional changes: bless with
+#   target/release/results_gate --fresh target/results-gate/results --bless
+echo "==> results_gate: regenerate experiment metrics and diff vs results/"
+scratch="target/results-gate"
+rm -rf "$scratch"
+mkdir -p "$scratch"
+(cd "$scratch" && ../release/vdcpower largescale --vms 40 --samples 48 >/dev/null)
+(cd "$scratch" && ../release/cosim --apps 6 --days 1 -q >/dev/null)
+(cd "$scratch" && ../release/week_profile -q >/dev/null)
+run ./target/release/results_gate --baseline results --fresh "$scratch/results"
 
 echo "==> ci.sh: all gates passed"

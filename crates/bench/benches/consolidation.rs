@@ -42,6 +42,7 @@ fn make_servers(n: usize, seed: u64) -> Vec<PackServer> {
                 max_watts: spec.power.max_watts,
                 idle_watts: spec.power.static_watts,
                 active: false,
+                pue: 1.0,
                 resident: Vec::new(),
             }
         })

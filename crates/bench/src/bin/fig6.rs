@@ -7,14 +7,19 @@
 //!
 //! ```text
 //! cargo run -p vdc-bench --bin fig6 --release [--full | --quick] [--seed 5415]
-//!     [--shards N]
+//!     [--shards N] [--mixed-fleet]
 //! ```
 //!
 //! `--shards N` spreads the swept data-center sizes over N worker threads
 //! (default: host parallelism; output is bit-identical for every N).
+//! `--mixed-fleet` swaps the homogeneous paper catalog for the two-site
+//! SPECpower fleet (a lean low-PUE site plus a legacy high-PUE site) so the
+//! sweep exercises heterogeneous efficiency ordering and per-site PUE.
 
+use vdc_apptier::rng::SimRng;
 use vdc_bench::{arg_num, arg_present, figure_header, rule};
 use vdc_core::experiments::{fig6, Fig6Config};
+use vdc_dcsim::FleetSpec;
 use vdc_trace::{generate_trace, TraceConfig};
 
 fn main() {
@@ -23,6 +28,7 @@ fn main() {
     let quick = arg_present(&args, "--quick");
     let full = arg_present(&args, "--full");
     let shards = arg_num(&args, "--shards", 0usize); // 0 = host parallelism
+    let mixed = arg_present(&args, "--mixed-fleet");
 
     let trace_cfg = if quick {
         TraceConfig {
@@ -58,8 +64,53 @@ fn main() {
         sizes.len()
     );
     let trace = generate_trace(&trace_cfg);
+    let fleet_spec = if mixed {
+        // Same server-to-VM ratio as the legacy sweep (3,000 per 5,415).
+        let max_size = sizes.iter().copied().max().unwrap_or(1);
+        let n_servers = ((max_size as f64 * 3000.0 / 5415.0).ceil() as usize).max(8);
+        let spec = FleetSpec::specpower_mixed(n_servers);
+        // Replay the fleet draw (run_large_scale seeds it with the config
+        // seed, 0x5415) to report the drawn per-profile composition.
+        let mut rng = SimRng::seed_from_u64(0x5415);
+        let assignments = spec.assignments_with(&mut |n| rng.index(n));
+        let mut per_profile = vec![0usize; spec.catalog.len()];
+        for &(_, profile) in &assignments {
+            per_profile[profile.index()] += 1;
+        }
+        println!(
+            "mixed fleet: {n_servers} servers across {} sites",
+            spec.sites.len()
+        );
+        for (site, s) in spec.sites.iter().enumerate() {
+            println!(
+                "  site {site} '{}': {} servers, PUE {:.2}",
+                s.name,
+                s.n_servers,
+                s.pue.at(0)
+            );
+        }
+        for (idx, count) in per_profile.iter().enumerate() {
+            if *count > 0 {
+                let p = spec
+                    .catalog
+                    .get(vdc_dcsim::ProfileId::from_index(idx))
+                    .unwrap();
+                println!(
+                    "  {:>4} x {:<28} idle fraction {:>5.1}%  {:.3} GHz/W",
+                    count,
+                    p.name,
+                    100.0 * p.idle_fraction(),
+                    p.power_efficiency()
+                );
+            }
+        }
+        Some(spec)
+    } else {
+        None
+    };
     let fig6_cfg = Fig6Config {
         shards,
+        fleet_spec,
         ..Fig6Config::new(sizes)
     };
     let points = fig6(&trace, &fig6_cfg).expect("fig6 failed");

@@ -106,6 +106,7 @@ mod tests {
             max_watts: 200.0,
             idle_watts: 120.0,
             active: true,
+            pue: 1.0,
             resident: vec![PackItem::new(VmId(1), 1.0, 1024.0)],
         }
     }

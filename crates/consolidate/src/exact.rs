@@ -141,6 +141,7 @@ mod tests {
             max_watts: idle / 0.6,
             idle_watts: idle,
             active: false,
+            pue: 1.0,
             resident: Vec::new(),
         }
     }

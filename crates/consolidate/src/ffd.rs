@@ -66,6 +66,7 @@ mod tests {
             max_watts: 200.0,
             idle_watts: 120.0,
             active: true,
+            pue: 1.0,
             resident: Vec::new(),
         }
     }

@@ -315,6 +315,7 @@ mod tests {
             max_watts: watts,
             idle_watts: watts * 0.6,
             active: !residents.is_empty(),
+            pue: 1.0,
             resident: residents
                 .iter()
                 .map(|&(id, c)| PackItem::new(VmId(id), c, 512.0))

@@ -44,17 +44,23 @@ pub struct PackServer {
     pub idle_watts: f64,
     /// Whether the server is currently active (drives wake accounting).
     pub active: bool,
+    /// Facility PUE of the server's site: every IT watt spent here costs
+    /// `pue` facility watts. 1.0 for single-site runs.
+    pub pue: f64,
     /// Items already resident and not being repacked.
     pub resident: Vec<PackItem>,
 }
 
 impl PackServer {
-    /// Power efficiency: capacity per watt (§V). Higher is better.
+    /// Power efficiency: capacity per *facility* watt (§V, extended to
+    /// multi-site fleets — a watt at a PUE-1.6 site costs more than a watt
+    /// at a PUE-1.1 site, so ordering prefers efficient hardware in
+    /// efficient facilities). Higher is better.
     pub fn power_efficiency(&self) -> f64 {
-        if self.max_watts <= 0.0 {
+        if self.max_watts <= 0.0 || self.pue <= 0.0 {
             return 0.0;
         }
-        self.cpu_capacity_ghz / self.max_watts
+        self.cpu_capacity_ghz / (self.max_watts * self.pue)
     }
 
     /// CPU already used by residents (GHz).
@@ -87,6 +93,7 @@ mod tests {
             max_watts: 200.0,
             idle_watts: 120.0,
             active: true,
+            pue: 1.0,
             resident: vec![PackItem::new(VmId(1), 1.0, 1024.0)],
         }
     }
@@ -106,6 +113,26 @@ mod tests {
         assert_eq!(s.resident_mem(), 1024.0);
         let degenerate = PackServer {
             max_watts: 0.0,
+            ..server()
+        };
+        assert_eq!(degenerate.power_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn pue_divides_efficiency() {
+        let unit = server();
+        let costly = PackServer {
+            pue: 2.0,
+            ..server()
+        };
+        assert_eq!(costly.power_efficiency(), unit.power_efficiency() / 2.0);
+        // PUE 1.0 leaves the legacy ordering key bit-identical.
+        assert_eq!(
+            unit.power_efficiency().to_bits(),
+            (unit.cpu_capacity_ghz / unit.max_watts).to_bits()
+        );
+        let degenerate = PackServer {
+            pue: 0.0,
             ..server()
         };
         assert_eq!(degenerate.power_efficiency(), 0.0);

@@ -290,7 +290,8 @@ impl SweepCtx<'_> {
 ///
 /// let server = PackServer {
 ///     index: 0, cpu_capacity_ghz: 4.0, mem_capacity_mib: 8192.0,
-///     max_watts: 200.0, idle_watts: 120.0, active: true, resident: vec![],
+///     max_watts: 200.0, idle_watts: 120.0, active: true, pue: 1.0,
+///     resident: vec![],
 /// };
 /// // Greedy-decreasing would take 3.0 then be stuck; {2.5, 1.5} is exact.
 /// let q = vec![
@@ -474,6 +475,7 @@ mod tests {
             max_watts: 200.0,
             idle_watts: 120.0,
             active: true,
+            pue: 1.0,
             resident: Vec::new(),
         }
     }

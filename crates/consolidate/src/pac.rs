@@ -121,6 +121,7 @@ mod tests {
             max_watts: watts,
             idle_watts: watts * 0.6,
             active: true,
+            pue: 1.0,
             resident: Vec::new(),
         }
     }

@@ -187,6 +187,7 @@ mod tests {
             max_watts: 200.0,
             idle_watts: 120.0,
             active,
+            pue: 1.0,
             resident: residents
                 .iter()
                 .map(|&(id, c)| PackItem::new(VmId(id), c, 512.0))

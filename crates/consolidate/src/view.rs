@@ -50,6 +50,7 @@ pub fn pack_server(view: &Snapshot, server: ServerHandle) -> PackServer {
         max_watts: srv.spec.power.max_watts,
         idle_watts: srv.spec.power.static_watts,
         active: srv.is_active(),
+        pue: view.server_pue(server),
         resident,
     }
 }

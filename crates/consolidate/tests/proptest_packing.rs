@@ -30,6 +30,7 @@ fn gen_servers(rng: &mut TestRng) -> Vec<PackServer> {
                 max_watts: watts,
                 idle_watts: watts * 0.6,
                 active: false,
+                pue: 1.0,
                 resident: Vec::new(),
             }
         })

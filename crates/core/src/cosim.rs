@@ -158,16 +158,6 @@ pub fn run_cosim(
     run_cosim_impl(trace, cfg, opts, &telemetry)
 }
 
-/// Superseded spelling of [`run_cosim`] with a telemetry sink.
-#[deprecated(note = "use run_cosim(trace, cfg, &RunOptions) with .with_telemetry()")]
-pub fn run_cosim_with_telemetry(
-    trace: &UtilizationTrace,
-    cfg: &CosimConfig,
-    telemetry: &Telemetry,
-) -> Result<CosimResult> {
-    run_cosim(trace, cfg, &RunOptions::default().with_telemetry(telemetry))
-}
-
 fn run_cosim_impl(
     trace: &UtilizationTrace,
     cfg: &CosimConfig,

@@ -11,6 +11,7 @@ use crate::testbed::{Testbed, TestbedConfig};
 use crate::Result;
 use vdc_apptier::{AnalyticPlant, AppSim, Plant, WorkloadProfile};
 use vdc_control::ArxModel;
+use vdc_dcsim::FleetSpec;
 use vdc_trace::UtilizationTrace;
 
 /// Mean and standard deviation of a sample set.
@@ -385,18 +386,20 @@ impl Fig6Point {
     }
 }
 
-/// Configuration of the Fig. 6 sweep. Replaces the old
-/// `fig6`/`fig6_sharded`/`fig6_with_fleet`/`fig6_with_fleet_sharded`
-/// spellings with one value.
+/// Configuration of the Fig. 6 sweep.
 #[derive(Debug, Clone)]
 pub struct Fig6Config {
     /// Data-center sizes to sweep (number of VMs per point).
     pub sizes: Vec<usize>,
     /// Shared server-fleet size. `None` applies the paper ratio (3,000
-    /// servers for 5,415 VMs) to the largest swept size.
+    /// servers for 5,415 VMs) to the largest swept size. Ignored when
+    /// `fleet_spec` is set.
     pub fleet: Option<usize>,
     /// Shard count for the across-sizes fan-out (`0` = host parallelism).
     pub shards: usize,
+    /// Heterogeneous multi-site fleet shared by every swept size. `None`
+    /// keeps the legacy homogeneous-catalog fleet of `fleet` servers.
+    pub fleet_spec: Option<FleetSpec>,
 }
 
 impl Fig6Config {
@@ -406,6 +409,7 @@ impl Fig6Config {
             sizes: sizes.into(),
             fleet: None,
             shards: 0,
+            fleet_spec: None,
         }
     }
 }
@@ -430,8 +434,10 @@ pub fn fig6(trace: &UtilizationTrace, cfg: &Fig6Config) -> Result<Vec<Fig6Point>
         let n_vms = cfg.sizes[i];
         let mut ipac_cfg = LargeScaleConfig::new(n_vms, OptimizerKind::Ipac);
         ipac_cfg.n_servers = Some(fleet);
+        ipac_cfg.fleet = cfg.fleet_spec.clone();
         let mut pmap_cfg = LargeScaleConfig::new(n_vms, OptimizerKind::Pmapper);
         pmap_cfg.n_servers = Some(fleet);
+        pmap_cfg.fleet = cfg.fleet_spec.clone();
         let opts = RunOptions::default();
         let ipac = run_large_scale(trace, &ipac_cfg, &opts)?;
         let pmapper = run_large_scale(trace, &pmap_cfg, &opts)?;
@@ -443,56 +449,6 @@ pub fn fig6(trace: &UtilizationTrace, cfg: &Fig6Config) -> Result<Vec<Fig6Point>
     })
     .into_iter()
     .collect()
-}
-
-/// Superseded spelling of [`fig6`] with an explicit shard count.
-#[deprecated(note = "use fig6(trace, &Fig6Config)")]
-pub fn fig6_sharded(
-    trace: &UtilizationTrace,
-    sizes: &[usize],
-    shards: usize,
-) -> Result<Vec<Fig6Point>> {
-    fig6(
-        trace,
-        &Fig6Config {
-            shards,
-            ..Fig6Config::new(sizes.to_vec())
-        },
-    )
-}
-
-/// Superseded spelling of [`fig6`] with an explicit shared fleet size.
-#[deprecated(note = "use fig6(trace, &Fig6Config)")]
-pub fn fig6_with_fleet(
-    trace: &UtilizationTrace,
-    sizes: &[usize],
-    fleet: usize,
-) -> Result<Vec<Fig6Point>> {
-    fig6(
-        trace,
-        &Fig6Config {
-            fleet: Some(fleet),
-            ..Fig6Config::new(sizes.to_vec())
-        },
-    )
-}
-
-/// Superseded spelling of [`fig6`] with explicit fleet and shard count.
-#[deprecated(note = "use fig6(trace, &Fig6Config)")]
-pub fn fig6_with_fleet_sharded(
-    trace: &UtilizationTrace,
-    sizes: &[usize],
-    fleet: usize,
-    shards: usize,
-) -> Result<Vec<Fig6Point>> {
-    fig6(
-        trace,
-        &Fig6Config {
-            fleet: Some(fleet),
-            shards,
-            ..Fig6Config::new(sizes.to_vec())
-        },
-    )
 }
 
 /// Ablation (ABL1 in DESIGN.md): IPAC with and without DVFS, plus pMapper,

@@ -15,7 +15,7 @@ use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::item::PackItem;
 use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
 use vdc_consolidate::view::apply_plan;
-use vdc_dcsim::{DataCenter, Server, ServerHandle, ServerSpec, VmSpec};
+use vdc_dcsim::{DataCenter, FleetSpec, Server, ServerHandle, ServerSpec, VmSpec};
 use vdc_telemetry::Telemetry;
 use vdc_trace::UtilizationTrace;
 
@@ -54,6 +54,12 @@ pub struct LargeScaleConfig {
     /// [`crate::shard`]). `0` means "use the host parallelism"; the result
     /// is bit-identical for every value.
     pub shards: usize,
+    /// Multi-site fleet spec. `None` (the default) stamps the legacy
+    /// single-site 15/35/50 paper fleet of `n_servers` machines; `Some`
+    /// takes the server count, host mix, and per-site PUE series from the
+    /// spec (`n_servers` is ignored). `FleetSpec::paper_default(k)` is
+    /// bit-identical to `n_servers: Some(k)` under the same seed.
+    pub fleet: Option<FleetSpec>,
 }
 
 impl LargeScaleConfig {
@@ -68,6 +74,7 @@ impl LargeScaleConfig {
             count_wake_energy: true,
             seed: 0x5415,
             shards: 1,
+            fleet: None,
         }
     }
 }
@@ -102,6 +109,10 @@ pub struct LargeScaleResult {
     /// Final VM→server placement, sorted by VM id (shard-equivalence
     /// suites compare this against the single-threaded run).
     pub final_placements: Vec<(u64, usize)>,
+    /// Facility energy per site (Wh, PUE included), indexed by site; one
+    /// entry for the legacy single-site fleet. Wake energy is charged at
+    /// the IT level and is *not* folded into these per-site figures.
+    pub site_energy_wh: Vec<f64>,
     /// Per-sample time series (power, active servers, migration progress).
     /// Populated only when [`RunOptions::capture_series`] is set; empty
     /// otherwise.
@@ -130,6 +141,17 @@ fn build_fleet(n_servers: usize, seed: u64) -> DataCenter {
         dc.add_server(Server::asleep(spec));
     }
     dc
+}
+
+/// Stamp a multi-site fleet spec, driving the profile draws with the same
+/// deterministic RNG stream `build_fleet` consumes — so
+/// `FleetSpec::paper_default(k)` reproduces the legacy fleet draw for
+/// draw under the same seed.
+fn build_fleet_from_spec(spec: &FleetSpec, seed: u64) -> Result<DataCenter> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut dc = DataCenter::new();
+    spec.build_with(&mut dc, &mut |n| rng.index(n))?;
+    Ok(dc)
 }
 
 /// Auto-size the fleet so capacity comfortably exceeds peak demand.
@@ -184,32 +206,6 @@ pub fn run_large_scale(
     run_large_scale_impl(trace, cfg, opts, &telemetry)
 }
 
-/// Superseded spelling of [`run_large_scale`] returning the series beside
-/// the result.
-#[deprecated(note = "use run_large_scale(trace, cfg, &RunOptions) with .with_series()")]
-pub fn run_large_scale_with_series(
-    trace: &UtilizationTrace,
-    cfg: &LargeScaleConfig,
-    telemetry: &Telemetry,
-) -> Result<(LargeScaleResult, Vec<WeekSample>)> {
-    let opts = RunOptions::default()
-        .with_telemetry(telemetry)
-        .with_series();
-    let mut result = run_large_scale(trace, cfg, &opts)?;
-    let series = std::mem::take(&mut result.series);
-    Ok((result, series))
-}
-
-/// Superseded spelling of [`run_large_scale`] with a telemetry sink.
-#[deprecated(note = "use run_large_scale(trace, cfg, &RunOptions) with .with_telemetry()")]
-pub fn run_large_scale_with_telemetry(
-    trace: &UtilizationTrace,
-    cfg: &LargeScaleConfig,
-    telemetry: &Telemetry,
-) -> Result<LargeScaleResult> {
-    run_large_scale(trace, cfg, &RunOptions::default().with_telemetry(telemetry))
-}
-
 fn run_large_scale_impl(
     trace: &UtilizationTrace,
     cfg: &LargeScaleConfig,
@@ -229,10 +225,15 @@ fn run_large_scale_impl(
         ));
     }
     let shards = crate::shard::resolve(opts.shards_or(cfg.shards));
-    let n_servers = cfg
-        .n_servers
-        .unwrap_or_else(|| auto_servers(trace, cfg.n_vms, shards));
-    let mut dc = build_fleet(n_servers, cfg.seed);
+    let mut dc = match &cfg.fleet {
+        Some(spec) => build_fleet_from_spec(spec, cfg.seed)?,
+        None => {
+            let n_servers = cfg
+                .n_servers
+                .unwrap_or_else(|| auto_servers(trace, cfg.n_vms, shards));
+            build_fleet(n_servers, cfg.seed)
+        }
+    };
 
     // Register the VMs with their t = 0 demands. Registration order makes
     // arena slot i the trace row i, which is what lets the per-sample
@@ -272,6 +273,8 @@ fn run_large_scale_impl(
     let mut active_sum = 0usize;
     let mut peak_active = 0usize;
     let mut total = 0.0_f64;
+    let mut site_energy_wh = vec![0.0_f64; dc.n_sites()];
+    let mut site_watts = vec![0.0_f64; dc.n_sites()];
     let mut relief_migrations = 0u64;
     let mut demand_total = 0.0_f64;
     let mut demand_unmet = 0.0_f64;
@@ -279,6 +282,15 @@ fn run_large_scale_impl(
     let relief_cfg = ReliefConfig::default();
     for t in 0..trace.n_samples() {
         let sample_span = telemetry.timer("largescale.sample_ns");
+        // Advance each site's PUE to this sample *before* any consolidation
+        // decision, so the optimizer's efficiency ordering sees the same
+        // facility cost the power fold below charges. A no-op (and no
+        // copy-on-write fork) while the value is unchanged.
+        if let Some(spec) = &cfg.fleet {
+            for (site, s) in spec.sites.iter().enumerate() {
+                dc.set_site_pue(site, s.pue.at(t))?;
+            }
+        }
         // Update demands from the trace: slot i is trace row i, so this is
         // a pure per-element write over a dense slice — sharded. The
         // `.max(0.0)` clamp matches `set_vm_demand`.
@@ -331,22 +343,29 @@ fn run_large_scale_impl(
         // shardable region for the `shard_scaling` bench's parallel-fraction
         // estimate.
         let power_span = telemetry.timer("largescale.power_map_ns");
-        let per_server: Vec<Result<(f64, f64, f64)>> =
+        let per_server: Vec<Result<(f64, f64, f64, usize)>> =
             crate::shard::map_indices(active.len(), shards, |i| {
                 let s = active[i];
-                let w = dc.server_power_watts(s)?;
+                // Facility power: IT power × site PUE. With the default
+                // single-site PUE of 1.0 the product is bit-identical to
+                // the raw IT power, so legacy runs are unchanged.
+                let w = dc.server_facility_power_watts(s)?;
                 let demand = dc.server_demand_ghz(s)?;
                 let cap = dc.server(s)?.spec.max_capacity_ghz();
-                Ok((w, demand, cap))
+                Ok((w, demand, cap, dc.server_site(s)))
             });
         power_span.finish();
         let mut watts = 0.0_f64;
         let mut sample_demand = 0.0_f64;
         let mut sample_unmet = 0.0_f64;
+        for w in site_watts.iter_mut() {
+            *w = 0.0;
+        }
         for r in per_server {
-            let (w, demand, cap) = r?;
+            let (w, demand, cap, site) = r?;
             telemetry.record("dcsim.server_power_w", w);
             watts += w;
+            site_watts[site] += w;
             // SLA proxy: demand beyond maximum capacity goes unserved.
             demand_total += demand;
             demand_unmet += (demand - cap).max(0.0);
@@ -354,6 +373,9 @@ fn run_large_scale_impl(
             sample_unmet += (demand - cap).max(0.0);
         }
         total += watts * trace.interval_s() / 3600.0;
+        for (site, w) in site_watts.iter().enumerate() {
+            site_energy_wh[site] += w * trace.interval_s() / 3600.0;
+        }
         telemetry.incr("largescale.samples", 1);
         if opts.capture_series {
             series.push(WeekSample {
@@ -386,6 +408,17 @@ fn run_large_scale_impl(
         "largescale.migrations",
         optimizer.total_migrations() + relief_migrations,
     );
+    // Per-site facility-energy gauges only exist for explicit fleet runs,
+    // so the legacy metric key set (and its committed baselines) is
+    // untouched.
+    if let Some(spec) = &cfg.fleet {
+        for (site, s) in spec.sites.iter().enumerate() {
+            telemetry.gauge_set(
+                &format!("largescale.site_energy_wh.{}", s.name),
+                site_energy_wh[site],
+            );
+        }
+    }
     // Label-ordered (VmId-sorted) iteration, matching the order the old
     // BTreeMap-keyed state produced.
     let mut final_placements = Vec::with_capacity(cfg.n_vms);
@@ -410,6 +443,7 @@ fn run_large_scale_impl(
         },
         wake_energy_wh,
         final_placements,
+        site_energy_wh,
         series,
     })
 }
@@ -511,7 +545,11 @@ mod tests {
         assert!(r.peak_active_servers < 40);
     }
 
-    fn assert_results_bit_identical(a: &LargeScaleResult, b: &LargeScaleResult, ctx: &str) {
+    pub(super) fn assert_results_bit_identical(
+        a: &LargeScaleResult,
+        b: &LargeScaleResult,
+        ctx: &str,
+    ) {
         assert_eq!(a.n_vms, b.n_vms, "{ctx}");
         assert_eq!(
             a.total_energy_wh.to_bits(),
@@ -543,6 +581,11 @@ mod tests {
             "{ctx}: wake energy"
         );
         assert_eq!(a.final_placements, b.final_placements, "{ctx}: placements");
+        let (sa, sb): (Vec<u64>, Vec<u64>) = (
+            a.site_energy_wh.iter().map(|x| x.to_bits()).collect(),
+            b.site_energy_wh.iter().map(|x| x.to_bits()).collect(),
+        );
+        assert_eq!(sa, sb, "{ctx}: per-site energy");
     }
 
     #[test]
@@ -597,6 +640,129 @@ mod tests {
         cfg.shards = 0; // auto: host parallelism
         let auto = run_large_scale(&t, &cfg).unwrap();
         assert_results_bit_identical(&single, &auto, "shards=0 (auto)");
+    }
+}
+
+#[cfg(test)]
+mod fleet_tests {
+    use super::*;
+    use vdc_dcsim::fleet::PueSeries;
+    use vdc_dcsim::{HostCatalog, SiteSpec};
+    use vdc_trace::{generate_trace, TraceConfig};
+
+    fn trace(n_vms: usize, seed: u64) -> UtilizationTrace {
+        generate_trace(&TraceConfig {
+            n_vms,
+            n_samples: 96,
+            interval_s: 900.0,
+            seed,
+        })
+    }
+
+    #[test]
+    fn paper_default_fleet_is_bit_identical_to_legacy_template() {
+        let t = trace(40, 0xF1EE7);
+        for optimizer in [OptimizerKind::Ipac, OptimizerKind::Pmapper] {
+            let legacy = LargeScaleConfig {
+                n_servers: Some(30),
+                ..LargeScaleConfig::new(40, optimizer)
+            };
+            let fleet = LargeScaleConfig {
+                fleet: Some(FleetSpec::paper_default(30)),
+                ..legacy.clone()
+            };
+            let opts = RunOptions::default().with_series();
+            let a = super::run_large_scale(&t, &legacy, &opts).unwrap();
+            let b = super::run_large_scale(&t, &fleet, &opts).unwrap();
+            super::tests::assert_results_bit_identical(&a, &b, "paper-default fleet");
+            let (pa, pb): (Vec<u64>, Vec<u64>) = (
+                a.series.iter().map(|s| s.power_w.to_bits()).collect(),
+                b.series.iter().map(|s| s.power_w.to_bits()).collect(),
+            );
+            assert_eq!(pa, pb, "power series must match bit for bit");
+            // The single-site fleet reports exactly one energy bucket,
+            // holding the facility (== IT at PUE 1.0) energy sans wake.
+            assert_eq!(b.site_energy_wh.len(), 1);
+            assert!(
+                (b.site_energy_wh[0] - (b.total_energy_wh - b.wake_energy_wh)).abs() < 1e-9,
+                "site bucket {} vs total-minus-wake {}",
+                b.site_energy_wh[0],
+                b.total_energy_wh - b.wake_energy_wh
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_fleet_prefers_low_idle_fraction_site() {
+        let t = trace(40, 0xF1EE8);
+        let spec = FleetSpec::specpower_mixed(12);
+        let cfg = LargeScaleConfig {
+            fleet: Some(spec.clone()),
+            ..LargeScaleConfig::new(40, OptimizerKind::Ipac)
+        };
+        let r = super::run_large_scale(&t, &cfg, &RunOptions::default()).unwrap();
+        assert_eq!(r.site_energy_wh.len(), 2);
+        // Replay the deterministic profile draws to recover each server's
+        // site, then check PAC/IPAC packed the load into the
+        // low-idle-fraction (and low-PUE) "lean" site.
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let assignments = spec.assignments_with(&mut |n| rng.index(n));
+        let on_lean = r
+            .final_placements
+            .iter()
+            .filter(|(_, s)| assignments[*s].0 == 0)
+            .count();
+        assert!(
+            2 * on_lean > r.final_placements.len(),
+            "only {on_lean}/{} VMs on the efficient site",
+            r.final_placements.len()
+        );
+        assert!(
+            r.site_energy_wh[0] > 0.0,
+            "the preferred site must burn energy"
+        );
+    }
+
+    #[test]
+    fn pue_step_change_scales_facility_power_midweek() {
+        let t = trace(30, 0xF1EE9);
+        // Single-site paper fleet; PUE jumps from 1.0 to 1.5 at sample 48.
+        let mut samples = vec![1.0; 48];
+        samples.extend(std::iter::repeat(1.5).take(48));
+        let catalog = HostCatalog::paper();
+        let mix = vec![
+            (vdc_dcsim::ProfileId::from_index(0), 15),
+            (vdc_dcsim::ProfileId::from_index(1), 35),
+            (vdc_dcsim::ProfileId::from_index(2), 50),
+        ];
+        let mut site = SiteSpec::new("stepped", 24, mix, 1.0).unwrap();
+        site.pue = PueSeries::from_samples(samples).unwrap();
+        let stepped_spec = FleetSpec::new(catalog, vec![site]).unwrap();
+        let base_cfg = LargeScaleConfig {
+            fleet: Some(FleetSpec::paper_default(24)),
+            ..LargeScaleConfig::new(30, OptimizerKind::Ipac)
+        };
+        let step_cfg = LargeScaleConfig {
+            fleet: Some(stepped_spec),
+            ..base_cfg.clone()
+        };
+        let opts = RunOptions::default().with_series();
+        let base = super::run_large_scale(&t, &base_cfg, &opts).unwrap();
+        let step = super::run_large_scale(&t, &step_cfg, &opts).unwrap();
+        // A uniform PUE rescales every efficiency key by the same factor,
+        // so placements are unchanged; facility power scales per sample.
+        assert_eq!(base.final_placements, step.final_placements);
+        assert_eq!(base.series.len(), step.series.len());
+        for (i, (a, b)) in base.series.iter().zip(&step.series).enumerate() {
+            let pue = if i < 48 { 1.0 } else { 1.5 };
+            assert!(
+                (b.power_w - a.power_w * pue).abs() < 1e-6 * a.power_w.max(1.0),
+                "sample {i}: {} vs {} x {pue}",
+                b.power_w,
+                a.power_w
+            );
+        }
+        assert!(step.total_energy_wh > base.total_energy_wh);
     }
 }
 

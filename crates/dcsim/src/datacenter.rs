@@ -79,6 +79,11 @@ struct DcState {
     hosted: Vec<Vec<VmHandle>>,
     /// External-label index, VmId-ordered.
     index: BTreeMap<VmId, VmHandle>,
+    /// Site index per server slot (site 0 when unspecified).
+    site_of: Vec<u32>,
+    /// Current facility PUE per site; every site starts at 1.0 (facility
+    /// power == IT power) until [`DataCenter::set_site_pue`].
+    site_pue: Vec<f64>,
 }
 
 impl DcState {
@@ -115,6 +120,17 @@ impl DcState {
                     .memory_mib
             })
             .sum())
+    }
+
+    fn server_site(&self, server: ServerHandle) -> usize {
+        self.site_of.get(server.index()).copied().unwrap_or(0) as usize
+    }
+
+    fn server_pue(&self, server: ServerHandle) -> f64 {
+        self.site_pue
+            .get(self.server_site(server))
+            .copied()
+            .unwrap_or(1.0)
     }
 }
 
@@ -205,6 +221,27 @@ impl Snapshot {
     pub fn vm_handles(&self) -> impl Iterator<Item = (VmId, VmHandle)> + '_ {
         self.state.index.iter().map(|(&id, &h)| (id, h))
     }
+
+    /// Number of sites seen so far (0 for an empty data center).
+    pub fn n_sites(&self) -> usize {
+        self.state.site_pue.len()
+    }
+
+    /// The site a server belongs to (site 0 when it was added without one).
+    pub fn server_site(&self, server: ServerHandle) -> usize {
+        self.state.server_site(server)
+    }
+
+    /// The current facility PUE of the server's site (1.0 when no PUE was
+    /// ever set).
+    pub fn server_pue(&self, server: ServerHandle) -> f64 {
+        self.state.server_pue(server)
+    }
+
+    /// The current facility PUE of a site (1.0 for unknown sites).
+    pub fn site_pue(&self, site: usize) -> f64 {
+        self.state.site_pue.get(site).copied().unwrap_or(1.0)
+    }
 }
 
 /// The data center: servers, VMs, placement, and accounting.
@@ -285,13 +322,69 @@ impl DataCenter {
 
     // ---- topology -------------------------------------------------------
 
-    /// Add a server; returns its handle (slot indices are assigned in
-    /// insertion order and never change).
+    /// Add a server to site 0; returns its handle (slot indices are
+    /// assigned in insertion order and never change).
     pub fn add_server(&mut self, server: Server) -> ServerHandle {
+        self.add_server_in_site(server, 0)
+            .expect("site 0 is always addressable")
+    }
+
+    /// Add a server to a specific site. Sites are created on first use
+    /// with PUE 1.0; change it with [`DataCenter::set_site_pue`].
+    pub fn add_server_in_site(&mut self, server: Server, site: usize) -> Result<ServerHandle> {
+        if site > u32::MAX as usize {
+            return Err(DcError::Invalid(format!("site index {site} out of range")));
+        }
         let st = self.state_mut();
         st.servers.push(server);
         st.hosted.push(Vec::new());
-        ServerHandle::from_index(st.servers.len() - 1)
+        st.site_of.push(site as u32);
+        if st.site_pue.len() <= site {
+            st.site_pue.resize(site + 1, 1.0);
+        }
+        Ok(ServerHandle::from_index(st.servers.len() - 1))
+    }
+
+    /// Set a site's current facility PUE (finite, ≥ 1.0). A no-op when the
+    /// value is unchanged, so constant-PUE runs never fork the
+    /// copy-on-write state block for this.
+    pub fn set_site_pue(&mut self, site: usize, pue: f64) -> Result<()> {
+        if site >= self.state.site_pue.len() {
+            return Err(DcError::Invalid(format!(
+                "unknown site {site} ({} sites exist)",
+                self.state.site_pue.len()
+            )));
+        }
+        if !pue.is_finite() || pue < 1.0 {
+            return Err(DcError::Invalid(format!(
+                "PUE for site {site} is {pue}; must be finite and >= 1.0"
+            )));
+        }
+        if self.state.site_pue[site].to_bits() != pue.to_bits() {
+            self.state_mut().site_pue[site] = pue;
+        }
+        Ok(())
+    }
+
+    /// Number of sites seen so far (0 for an empty data center).
+    pub fn n_sites(&self) -> usize {
+        self.state.site_pue.len()
+    }
+
+    /// The site a server belongs to (site 0 when it was added without one).
+    pub fn server_site(&self, server: ServerHandle) -> usize {
+        self.state.server_site(server)
+    }
+
+    /// The current facility PUE of the server's site (1.0 when no PUE was
+    /// ever set).
+    pub fn server_pue(&self, server: ServerHandle) -> f64 {
+        self.state.server_pue(server)
+    }
+
+    /// The current facility PUE of a site (1.0 for unknown sites).
+    pub fn site_pue(&self, site: usize) -> f64 {
+        self.state.site_pue.get(site).copied().unwrap_or(1.0)
     }
 
     /// Number of servers.
@@ -692,6 +785,23 @@ impl DataCenter {
             .sum()
     }
 
+    /// Instantaneous facility power of one server (watts): IT power scaled
+    /// by the site's current PUE. With PUE 1.0 (the default) this is
+    /// bit-identical to [`DataCenter::server_power_watts`].
+    pub fn server_facility_power_watts(&self, server: ServerHandle) -> Result<f64> {
+        Ok(self.server_power_watts(server)? * self.state.server_pue(server))
+    }
+
+    /// Instantaneous total facility power (watts), index-order fold.
+    pub fn total_facility_power_watts(&self) -> f64 {
+        (0..self.state.servers.len())
+            .map(|s| {
+                self.server_facility_power_watts(ServerHandle::from_index(s))
+                    .expect("index in range by construction")
+            })
+            .sum()
+    }
+
     /// Advance accounting time by `dt_s` seconds at the current power draw.
     pub fn accumulate_energy(&mut self, dt_s: f64) {
         let dt = dt_s.max(0.0);
@@ -1035,6 +1145,81 @@ mod arena_tests {
         let snap = dc.snapshot();
         let snap_labels: Vec<u64> = snap.vm_handles().map(|(id, _)| id.0).collect();
         assert_eq!(snap_labels, labels);
+    }
+}
+
+#[cfg(test)]
+mod site_tests {
+    use super::*;
+    use crate::server::ServerSpec;
+
+    fn srv(i: usize) -> ServerHandle {
+        ServerHandle::from_index(i)
+    }
+
+    #[test]
+    fn default_site_is_zero_with_unit_pue() {
+        let mut dc = DataCenter::new();
+        assert_eq!(dc.n_sites(), 0);
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        assert_eq!(dc.n_sites(), 1);
+        assert_eq!(dc.server_site(srv(0)), 0);
+        assert_eq!(dc.server_pue(srv(0)), 1.0);
+        assert_eq!(dc.site_pue(7), 1.0, "unknown sites read 1.0");
+        // With PUE 1.0 facility power is bit-identical to IT power.
+        let it = dc.server_power_watts(srv(0)).unwrap();
+        let fac = dc.server_facility_power_watts(srv(0)).unwrap();
+        assert_eq!(it.to_bits(), fac.to_bits());
+        assert_eq!(
+            dc.total_power_watts().to_bits(),
+            dc.total_facility_power_watts().to_bits()
+        );
+    }
+
+    #[test]
+    fn site_pue_scales_facility_power_only() {
+        let mut dc = DataCenter::new();
+        dc.add_server_in_site(Server::active(ServerSpec::type_quad_3ghz()), 0)
+            .unwrap();
+        dc.add_server_in_site(Server::active(ServerSpec::type_quad_3ghz()), 1)
+            .unwrap();
+        assert_eq!(dc.n_sites(), 2);
+        dc.set_site_pue(1, 1.5).unwrap();
+        let it0 = dc.server_power_watts(srv(0)).unwrap();
+        let it1 = dc.server_power_watts(srv(1)).unwrap();
+        assert_eq!(it0, it1, "identical hardware, identical IT power");
+        assert_eq!(dc.server_facility_power_watts(srv(0)).unwrap(), it0);
+        assert_eq!(dc.server_facility_power_watts(srv(1)).unwrap(), it1 * 1.5);
+        assert_eq!(dc.total_facility_power_watts(), it0 + it1 * 1.5);
+        // IT-power accessors are untouched by PUE.
+        assert_eq!(dc.total_power_watts(), it0 + it1);
+    }
+
+    #[test]
+    fn set_site_pue_validates_site_and_value() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        assert!(dc.set_site_pue(3, 1.2).is_err(), "unknown site");
+        assert!(dc.set_site_pue(0, 0.8).is_err(), "PUE < 1 rejected");
+        assert!(dc.set_site_pue(0, f64::NAN).is_err());
+        assert!(dc.set_site_pue(0, f64::INFINITY).is_err());
+        dc.set_site_pue(0, 1.35).unwrap();
+        assert_eq!(dc.site_pue(0), 1.35);
+    }
+
+    #[test]
+    fn unchanged_pue_does_not_fork_the_state_block() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        dc.set_site_pue(0, 1.4).unwrap();
+        let snap = dc.snapshot();
+        dc.set_site_pue(0, 1.4).unwrap();
+        assert!(Arc::ptr_eq(&snap.state, &dc.snapshot().state));
+        dc.set_site_pue(0, 1.5).unwrap();
+        assert!(!Arc::ptr_eq(&snap.state, &dc.snapshot().state));
+        assert_eq!(snap.server_pue(srv(0)), 1.4, "snapshot keeps the old PUE");
+        assert_eq!(snap.server_site(srv(0)), 0);
+        assert_eq!(snap.n_sites(), 1);
     }
 }
 

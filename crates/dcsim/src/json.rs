@@ -376,11 +376,15 @@ impl PowerModel {
 }
 
 impl ServerSpec {
-    /// Hand-rolled JSON rendering of the catalog entry.
+    /// Hand-rolled JSON rendering of the catalog entry. The `profile`
+    /// field appears only for catalog-stamped specs, so ad-hoc (legacy)
+    /// specs render byte-identically to before profiles existed.
     pub fn to_json(&self) -> String {
-        JsonObject::new()
-            .str("name", &self.name)
-            .int("cores", self.cores as i64)
+        let mut obj = JsonObject::new().str("name", &self.name);
+        if let Some(p) = self.profile {
+            obj = obj.int("profile", p.index() as i64);
+        }
+        obj.int("cores", self.cores as i64)
             .num("max_freq_ghz", self.max_freq_ghz)
             .num("memory_mib", self.memory_mib)
             .num("wake_latency_s", self.wake_latency_s)

@@ -13,18 +13,28 @@
 //! * [`vm`] — VM descriptors (CPU demand in GHz, memory) as seen by the
 //!   consolidation layer;
 //! * [`datacenter`] — placement state, migration mechanics with cost
-//!   accounting, sleep/wake transitions, and energy integration.
+//!   accounting, sleep/wake transitions, and energy integration;
+//! * [`profile`] — the heterogeneous hardware catalog ([`HostProfile`] /
+//!   [`HostCatalog`]): per-model core counts, idle/peak power, and DVFS
+//!   ladders, seeded with nine SPECpower-style machines;
+//! * [`fleet`] — multi-site fleet specs ([`FleetSpec`] / [`SiteSpec`]) with
+//!   weighted profile mixes and per-site PUE series ([`PueSeries`]) that
+//!   scale IT power to facility power.
 
 #![warn(missing_docs)]
 
 pub mod datacenter;
+pub mod fleet;
 pub mod json;
 pub mod power;
+pub mod profile;
 pub mod server;
 pub mod vm;
 
 pub use datacenter::{DataCenter, DvfsDecision, MigrationRecord, Snapshot};
+pub use fleet::{FleetSpec, PueSeries, SiteSpec};
 pub use power::PowerModel;
+pub use profile::{HostCatalog, HostProfile, ProfileId};
 pub use server::{CpuArbitrator, Server, ServerHandle, ServerSpec, ServerState};
 pub use vm::{VmHandle, VmId, VmSpec};
 

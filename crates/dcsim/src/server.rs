@@ -6,6 +6,7 @@
 //! demands, and then throttles the processor … using DVFS" (§IV).
 
 use crate::power::PowerModel;
+use crate::profile::ProfileId;
 
 /// Copyable handle addressing one server slot in the
 /// [`crate::DataCenter`] arena.
@@ -54,6 +55,10 @@ pub struct ServerSpec {
     pub power: PowerModel,
     /// Seconds to wake from sleep (S3 resume + readiness).
     pub wake_latency_s: f64,
+    /// The catalog profile this spec was stamped from, when the server
+    /// came out of a [`crate::HostCatalog`]; `None` for ad-hoc specs (the
+    /// legacy §VI-B constructors below).
+    pub profile: Option<ProfileId>,
 }
 
 impl ServerSpec {
@@ -86,6 +91,7 @@ impl ServerSpec {
             memory_mib: 16384.0,
             power: PowerModel::new(15.0, 190.0, 320.0).expect("static catalog model"),
             wake_latency_s: 30.0,
+            profile: None,
         }
     }
 
@@ -99,6 +105,7 @@ impl ServerSpec {
             memory_mib: 8192.0,
             power: PowerModel::new(10.0, 110.0, 180.0).expect("static catalog model"),
             wake_latency_s: 25.0,
+            profile: None,
         }
     }
 
@@ -112,6 +119,7 @@ impl ServerSpec {
             memory_mib: 4096.0,
             power: PowerModel::new(8.0, 95.0, 150.0).expect("static catalog model"),
             wake_latency_s: 25.0,
+            profile: None,
         }
     }
 

@@ -6,6 +6,11 @@
 //! tooling reads one dialect. The TSV is a flat
 //! `kind<TAB>name<TAB>field<TAB>value` table for spreadsheet/awk use.
 //! Schema id: `vdc-metrics/1`.
+//!
+//! This shape is a CI contract: `tools/results_gate` re-parses these
+//! documents against the committed `results/` baselines on every run and
+//! hard-fails on schema drift, so a change here must come with a schema
+//! bump and a `results_gate --bless`.
 
 use crate::Telemetry;
 use vdc_dcsim::json::{array, num, JsonObject};

@@ -17,6 +17,7 @@
 use vdc_core::cosim::{run_cosim, CosimConfig, CosimResult};
 use vdc_core::largescale::{run_large_scale, LargeScaleConfig, LargeScaleResult, OptimizerKind};
 use vdc_core::RunOptions;
+use vdc_dcsim::FleetSpec;
 use vdc_telemetry::Telemetry;
 use vdc_trace::{generate_trace, TraceConfig, UtilizationTrace};
 
@@ -181,6 +182,52 @@ fn largescale_is_bit_identical_across_shard_counts() {
             base_state,
             telemetry_state(&tel),
             "largescale shards={shards}: telemetry counters diverged"
+        );
+    }
+}
+
+fn largescale_fleet_at(
+    trace: &UtilizationTrace,
+    shards: usize,
+) -> (LargeScaleResult, Vec<u64>, Telemetry) {
+    let mut cfg = LargeScaleConfig::new(30, OptimizerKind::Ipac);
+    // Two-site SPECpower fleet with distinct per-site PUE: the
+    // heterogeneous path (profile-aware power, facility multipliers,
+    // per-site energy buckets) must stay on the sequential index-order
+    // folds that make the homogeneous replay shard-stable.
+    cfg.fleet = Some(FleetSpec::specpower_mixed(12));
+    let telemetry = Telemetry::enabled();
+    let opts = RunOptions::default()
+        .with_telemetry(&telemetry)
+        .with_shards(shards)
+        .with_series();
+    let result = run_large_scale(trace, &cfg, &opts).expect("fleet replay runs");
+    let series_bits = result.series.iter().map(|s| s.power_w.to_bits()).collect();
+    (result, series_bits, telemetry)
+}
+
+#[test]
+fn heterogeneous_fleet_is_bit_identical_across_shard_counts() {
+    let trace = fast_trace(30, 0xF1EE7);
+    let (baseline, base_series, base_tel) = largescale_fleet_at(&trace, 1);
+    let base_state = telemetry_state(&base_tel);
+    let base_sites = bits(&baseline.site_energy_wh);
+    for shards in SHARD_COUNTS {
+        let (r, series, tel) = largescale_fleet_at(&trace, shards);
+        assert_largescale_identical(&baseline, &r, &format!("fleet shards={shards}"));
+        assert_eq!(
+            base_series, series,
+            "fleet shards={shards}: power series diverged"
+        );
+        assert_eq!(
+            base_sites,
+            bits(&r.site_energy_wh),
+            "fleet shards={shards}: per-site energy diverged"
+        );
+        assert_eq!(
+            base_state,
+            telemetry_state(&tel),
+            "fleet shards={shards}: telemetry counters diverged"
         );
     }
 }
