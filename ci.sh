@@ -78,6 +78,7 @@ mkdir -p "$scratch"
 (cd "$scratch" && ../release/vdcpower largescale --vms 40 --samples 48 >/dev/null)
 (cd "$scratch" && ../release/cosim --apps 6 --days 1 -q >/dev/null)
 (cd "$scratch" && ../release/week_profile -q >/dev/null)
+(cd "$scratch" && ../release/churn -q >/dev/null)
 run ./target/release/results_gate --baseline results --fresh "$scratch/results"
 
 echo "==> ci.sh: all gates passed"

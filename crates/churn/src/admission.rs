@@ -1,0 +1,47 @@
+//! Admission-control policies for VM arrivals.
+//!
+//! When Minimum Slack finds no feasible active server for an arriving VM,
+//! the run loop consults the configured policy. All three outcomes are
+//! counted in telemetry (`churn.rejections`, `churn.queue_depth`,
+//! `churn.wake_retries`) so scenario tables can compare policies.
+
+/// What to do with an arrival that no active server can host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Turn the VM away immediately (counted in `churn.rejections`).
+    Reject,
+    /// Keep the VM registered but unplaced and retry admission at every
+    /// subsequent sample until it fits or its departure time passes
+    /// (`churn.queue_depth` gauges the backlog).
+    Queue,
+    /// Wake the most efficient sleeping server that fits the VM and place
+    /// it there, modeling the host's wake latency as an admission delay
+    /// (the VM's demand starts one sample late and the wait is recorded in
+    /// the `churn.wake_wait_ns` histogram); if no sleeping server fits
+    /// either, fall back to rejection.
+    #[default]
+    WakeAndRetry,
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionPolicy::Reject => write!(f, "reject"),
+            AdmissionPolicy::Queue => write!(f, "queue"),
+            AdmissionPolicy::WakeAndRetry => write!(f, "wake-and-retry"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(AdmissionPolicy::Reject.to_string(), "reject");
+        assert_eq!(AdmissionPolicy::Queue.to_string(), "queue");
+        assert_eq!(AdmissionPolicy::WakeAndRetry.to_string(), "wake-and-retry");
+        assert_eq!(AdmissionPolicy::default(), AdmissionPolicy::WakeAndRetry);
+    }
+}

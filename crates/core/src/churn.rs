@@ -1,0 +1,624 @@
+//! VM lifecycle churn replay: `run_churn` and the admission-control seam.
+//!
+//! [`run_churn`] is [`crate::run_large_scale`] plus a lifecycle dimension:
+//! a pre-generated [`ChurnWorkload`] (arrivals, departures, flash crowds)
+//! is interleaved with the existing control/optimizer cadence, so IPAC
+//! re-plans incrementally against a placement that drifts between
+//! invocations instead of a frozen population. Departed VMs free their
+//! arena slots for recycling (`vdc-dcsim`'s generation-tagged free list),
+//! so long churn runs never grow the arena past the high-water live
+//! population.
+//!
+//! # Admission
+//!
+//! Each arrival batch (queued VMs retrying first, then new arrivals in
+//! event order) is packed onto the *active* servers with the same Minimum
+//! Slack search the optimizer uses. Arrivals that fit nowhere hit the
+//! configured [`AdmissionPolicy`]:
+//!
+//! * **Reject** — deregister immediately (`churn.rejections`);
+//! * **Queue** — stay registered but unplaced and retry every sample
+//!   (`churn.queue_depth` gauges the backlog);
+//! * **WakeAndRetry** — pack onto the *sleeping* servers; a hit wakes the
+//!   host, models its [`vdc_dcsim::ServerSpec::wake_latency_s`] (sourced
+//!   from `HostProfile::wake_latency_s` for profile-built fleets) as an
+//!   admission delay — the VM's demand starts one sample late and the wait
+//!   lands in the `churn.wake_wait_ns` histogram — and a miss falls back
+//!   to rejection.
+//!
+//! Every decision is sequential and derived from index-ordered sharded
+//! snapshots, so churn runs stay bit-identical at every shard count; a
+//! workload with zero events leaves the run loop byte-identical to
+//! [`crate::run_large_scale`].
+
+use crate::largescale::{run_large_scale_impl, LargeScaleConfig, LargeScaleResult};
+use crate::optimizer::snapshot_sharded;
+use crate::run::RunOptions;
+use crate::{CoreError, Result};
+use std::collections::{BTreeMap, VecDeque};
+use vdc_churn::{AdmissionPolicy, ChurnWorkload, EventKind};
+use vdc_consolidate::constraint::AndConstraint;
+use vdc_consolidate::item::{PackItem, PackServer};
+use vdc_consolidate::minslack::MinSlackConfig;
+use vdc_consolidate::pac::pac_pack;
+use vdc_dcsim::{DataCenter, ServerHandle, VmHandle, VmId, VmSpec};
+use vdc_telemetry::Telemetry;
+use vdc_trace::UtilizationTrace;
+
+/// Result of one churn run: the large-scale rollup plus lifecycle
+/// accounting. `base.n_vms` and `base.energy_per_vm_wh` keep counting the
+/// fixed base population only; churn VMs show up in `base.migrations`,
+/// the power/energy figures, and `base.final_placements` (live churn VMs
+/// carry external labels `>= base.n_vms`).
+#[derive(Debug, Clone)]
+pub struct ChurnResult {
+    /// The underlying large-scale rollup.
+    pub base: LargeScaleResult,
+    /// Arrival events replayed.
+    pub arrivals: u64,
+    /// Departure events that removed a live VM.
+    pub departures: u64,
+    /// Arrivals (or queue retries) that found a server.
+    pub admitted: u64,
+    /// Arrivals turned away (policy `Reject`, or `WakeAndRetry` with no
+    /// feasible sleeping server either).
+    pub rejections: u64,
+    /// Admissions that had to wake a sleeping server.
+    pub wake_retries: u64,
+    /// Deepest admission queue over the run (policy `Queue`).
+    pub peak_queue_depth: usize,
+    /// Arrivals that landed in a recycled arena slot (handle generation
+    /// > 0) — nonzero whenever departures preceded arrivals.
+    pub recycled_slots: u64,
+    /// Churn VMs still live (placed or queued) at the end of the horizon.
+    pub live_churn_vms: usize,
+}
+
+/// Run the large-scale simulation with a lifecycle-churn workload.
+///
+/// The workload's horizon must match the trace (`n_samples`); churn VM
+/// external labels are `cfg.n_vms + k` so they never collide with the
+/// base population. See [`RunOptions`] for the telemetry/shards/series
+/// axes — churn adds the `churn.*` counter family on top of the
+/// large-scale metrics.
+pub fn run_churn(
+    trace: &UtilizationTrace,
+    cfg: &LargeScaleConfig,
+    workload: &ChurnWorkload,
+    policy: AdmissionPolicy,
+    opts: &RunOptions<'_>,
+) -> Result<ChurnResult> {
+    if workload.n_samples() != trace.n_samples() {
+        return Err(CoreError::BadConfig(format!(
+            "churn workload horizon {} != trace horizon {}",
+            workload.n_samples(),
+            trace.n_samples()
+        )));
+    }
+    let telemetry = opts.telemetry();
+    // Pre-register the churn counter family so every scenario exports the
+    // same key set regardless of which paths fire.
+    for key in [
+        "churn.arrivals",
+        "churn.departures",
+        "churn.admitted",
+        "churn.rejections",
+        "churn.wake_retries",
+    ] {
+        telemetry.incr(key, 0);
+    }
+    telemetry.gauge_set("churn.queue_depth", 0.0);
+    let shards = crate::shard::resolve(opts.shards_or(cfg.shards));
+    let mut ctx = ChurnCtx::new(workload, policy, cfg.n_vms, shards);
+    let base = run_large_scale_impl(trace, cfg, opts, &telemetry, Some(&mut ctx))?;
+    telemetry.gauge_set("churn.live_vms", ctx.live.len() as f64);
+    Ok(ChurnResult {
+        base,
+        arrivals: ctx.arrivals,
+        departures: ctx.departures,
+        admitted: ctx.admitted,
+        rejections: ctx.rejections,
+        wake_retries: ctx.wake_retries,
+        peak_queue_depth: ctx.peak_queue_depth,
+        recycled_slots: ctx.recycled_slots,
+        live_churn_vms: ctx.live.len(),
+    })
+}
+
+/// Mutable churn state threaded through the run loop. One instance per
+/// run; `run_large_scale_impl` calls [`ChurnCtx::apply_events`] once per
+/// sample (after the demand update, before consolidation) and
+/// [`ChurnCtx::write_demands`] for the churn region of the demand table.
+pub(crate) struct ChurnCtx<'a> {
+    workload: &'a ChurnWorkload,
+    policy: AdmissionPolicy,
+    /// Size of the fixed base population: churn slots start at this index
+    /// and external churn labels at this id.
+    base_vms: usize,
+    minslack: MinSlackConfig,
+    /// Cursor into the sorted event stream.
+    cursor: usize,
+    /// Per churn slot (arena slot − `base_vms`): the live occupant's
+    /// workload index `k` and the sample its demand becomes visible
+    /// (wake-and-retry admissions start one sample late).
+    owner: Vec<Option<(usize, usize)>>,
+    /// Live churn VMs by workload index (placed or queued).
+    live: BTreeMap<usize, VmHandle>,
+    /// Workload indices awaiting placement, FIFO (policy `Queue`).
+    queue: VecDeque<usize>,
+    arrivals: u64,
+    departures: u64,
+    admitted: u64,
+    rejections: u64,
+    wake_retries: u64,
+    peak_queue_depth: usize,
+    recycled_slots: u64,
+}
+
+impl<'a> ChurnCtx<'a> {
+    fn new(
+        workload: &'a ChurnWorkload,
+        policy: AdmissionPolicy,
+        base_vms: usize,
+        shards: usize,
+    ) -> ChurnCtx<'a> {
+        ChurnCtx {
+            workload,
+            policy,
+            base_vms,
+            minslack: MinSlackConfig {
+                shards,
+                ..MinSlackConfig::default()
+            },
+            cursor: 0,
+            owner: Vec::new(),
+            live: BTreeMap::new(),
+            queue: VecDeque::new(),
+            arrivals: 0,
+            departures: 0,
+            admitted: 0,
+            rejections: 0,
+            wake_retries: 0,
+            peak_queue_depth: 0,
+            recycled_slots: 0,
+        }
+    }
+
+    /// External label of churn VM `k` (disjoint from the base ids
+    /// `0..base_vms`).
+    fn ext_id(&self, k: usize) -> u64 {
+        (self.base_vms + k) as u64
+    }
+
+    /// The packing item for churn VM `k` at sample `t`.
+    fn item(&self, k: usize, t: usize) -> PackItem {
+        PackItem::new(
+            VmId(self.ext_id(k)),
+            self.workload.demand_ghz(k, t).max(0.0),
+            self.workload.memory_mib(k),
+        )
+    }
+
+    /// Write the churn region of the demand table (slots `base_vms..`),
+    /// sharded per slot exactly like the base region: live owners whose
+    /// activation sample has passed read their workload demand, everything
+    /// else (vacant, queued, still waking) reads 0.
+    pub(crate) fn write_demands(&self, dc: &mut DataCenter, t: usize, shards: usize) {
+        debug_assert_eq!(self.owner.len(), dc.vm_slots() - self.base_vms);
+        let (workload, owner) = (self.workload, &self.owner);
+        crate::shard::map_slice_mut(&mut dc.demands_mut()[self.base_vms..], shards, |i, d| {
+            *d = match owner[i] {
+                Some((k, active_from)) if t >= active_from => workload.demand_ghz(k, t).max(0.0),
+                _ => 0.0,
+            };
+        });
+    }
+
+    /// Replay every lifecycle event due at sample `t`: departures first,
+    /// then the admission queue retries, then new arrivals in event order.
+    pub(crate) fn apply_events(
+        &mut self,
+        dc: &mut DataCenter,
+        t: usize,
+        shards: usize,
+        telemetry: &Telemetry,
+    ) -> Result<()> {
+        let events = self.workload.events();
+        let (mut departs, mut arrives) = (Vec::new(), Vec::new());
+        while self.cursor < events.len() && events[self.cursor].at_sample == t {
+            match events[self.cursor].kind {
+                EventKind::Arrive(k) => arrives.push(k),
+                EventKind::Depart(k) => departs.push(k),
+            }
+            self.cursor += 1;
+        }
+
+        for k in departs {
+            // Rejected (or already-departed) VMs have no live handle; their
+            // departure is a no-op.
+            if let Some(h) = self.live.remove(&k) {
+                self.queue.retain(|&q| q != k);
+                let slot = h.index();
+                debug_assert!(slot >= self.base_vms, "churn never removes base VMs");
+                dc.remove_vm(h)?;
+                self.owner[slot - self.base_vms] = None;
+                self.departures += 1;
+                telemetry.incr("churn.departures", 1);
+            }
+        }
+
+        self.arrivals += arrives.len() as u64;
+        telemetry.incr("churn.arrivals", arrives.len() as u64);
+        // Register the new arrivals so the batch below owns handles for
+        // queued retries and fresh VMs alike. Registration pops the free
+        // list, so post-departure arrivals land in recycled slots.
+        for &k in &arrives {
+            let spec = VmSpec::new(
+                self.ext_id(k),
+                self.workload.demand_ghz(k, t),
+                self.workload.memory_mib(k),
+            );
+            let h = dc.add_vm(spec)?;
+            debug_assert!(h.index() >= self.base_vms);
+            if h.generation() > 0 {
+                self.recycled_slots += 1;
+            }
+            let churn_slot = h.index() - self.base_vms;
+            if churn_slot >= self.owner.len() {
+                self.owner.resize(churn_slot + 1, None);
+            }
+            self.live.insert(k, h);
+        }
+
+        // Admission batch: queued VMs retry first (FIFO), then the new
+        // arrivals in event order.
+        let batch: Vec<usize> = self.queue.drain(..).chain(arrives).collect();
+        if !batch.is_empty() {
+            self.admit(dc, batch, t, shards, telemetry)?;
+        }
+        self.peak_queue_depth = self.peak_queue_depth.max(self.queue.len());
+        telemetry.gauge_set("churn.queue_depth", self.queue.len() as f64);
+        Ok(())
+    }
+
+    /// Pack a batch of registered-but-unplaced churn VMs onto the fleet
+    /// and apply the admission policy to the leftovers.
+    fn admit(
+        &mut self,
+        dc: &mut DataCenter,
+        batch: Vec<usize>,
+        t: usize,
+        shards: usize,
+        telemetry: &Telemetry,
+    ) -> Result<()> {
+        let placement_span = telemetry.timer("churn.placement_ns");
+        let items: Vec<PackItem> = batch.iter().map(|&k| self.item(k, t)).collect();
+        let constraint = AndConstraint::cpu_and_memory();
+        // Index-ordered sharded snapshot (bit-identical at every shard
+        // count), split into the active fleet — the Minimum Slack first
+        // pass — and the sleeping pool the wake-and-retry fallback taps.
+        let (mut active_view, mut sleeping_view): (Vec<PackServer>, Vec<PackServer>) =
+            snapshot_sharded(dc, shards)
+                .into_iter()
+                .partition(|s| s.active);
+        let first = pac_pack(&mut active_view, &items, &constraint, &self.minslack);
+        self.place_assignments(dc, &active_view, &first.assignments, t, t)?;
+        self.admitted += first.assignments.len() as u64;
+        telemetry.incr("churn.admitted", first.assignments.len() as u64);
+
+        let mut leftovers: Vec<u64> = first.unplaced.iter().map(|id| id.0).collect();
+        if !leftovers.is_empty() && self.policy == AdmissionPolicy::WakeAndRetry {
+            let retry_items: Vec<PackItem> = items
+                .iter()
+                .filter(|i| leftovers.contains(&i.vm.0))
+                .cloned()
+                .collect();
+            let second = pac_pack(
+                &mut sleeping_view,
+                &retry_items,
+                &constraint,
+                &self.minslack,
+            );
+            // Model the host's wake latency as an admission delay: the VM
+            // occupies its slot now but its demand starts next sample, and
+            // the wait is recorded against the churn.wake_wait_ns histogram.
+            for &(id, si) in &second.assignments {
+                let server = ServerHandle::from_index(sleeping_view[si].index);
+                let wake_latency_s = dc.server(server)?.spec.wake_latency_s;
+                telemetry.record("churn.wake_wait_ns", wake_latency_s * 1e9);
+                self.wake_retries += 1;
+                telemetry.incr("churn.wake_retries", 1);
+                let _ = id;
+            }
+            self.place_assignments(dc, &sleeping_view, &second.assignments, t, t + 1)?;
+            self.admitted += second.assignments.len() as u64;
+            telemetry.incr("churn.admitted", second.assignments.len() as u64);
+            leftovers = second.unplaced.iter().map(|id| id.0).collect();
+        }
+
+        // Walk the original batch order so the queue keeps FIFO fairness
+        // (pac_pack's unplaced list comes back in swap-perturbed order).
+        let leftover_set: std::collections::BTreeSet<u64> = leftovers.into_iter().collect();
+        for k in batch {
+            if !leftover_set.contains(&self.ext_id(k)) {
+                continue;
+            }
+            match self.policy {
+                AdmissionPolicy::Queue => self.queue.push_back(k),
+                AdmissionPolicy::Reject | AdmissionPolicy::WakeAndRetry => {
+                    let h = self.live.remove(&k).expect("unplaced VM is live");
+                    dc.remove_vm(h)?;
+                    self.rejections += 1;
+                    telemetry.incr("churn.rejections", 1);
+                }
+            }
+        }
+        placement_span.finish();
+        Ok(())
+    }
+
+    /// Execute one pack result: place each assigned VM on its chosen
+    /// server (waking it if asleep) with its demand visible from
+    /// `active_from` on.
+    fn place_assignments(
+        &mut self,
+        dc: &mut DataCenter,
+        view: &[PackServer],
+        assignments: &[(VmId, usize)],
+        t: usize,
+        active_from: usize,
+    ) -> Result<()> {
+        for &(id, si) in assignments {
+            let k = id.0 as usize - self.base_vms;
+            let h = *self.live.get(&k).expect("assigned VM is live");
+            let server = ServerHandle::from_index(view[si].index);
+            dc.place_vm(h, server)?;
+            let demand = if t >= active_from {
+                self.workload.demand_ghz(k, t)
+            } else {
+                0.0
+            };
+            dc.set_vm_demand(h, demand)?;
+            self.owner[h.index() - self.base_vms] = Some((k, active_from));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::largescale::OptimizerKind;
+    use vdc_churn::ChurnConfig;
+    use vdc_trace::{generate_trace, TraceConfig};
+
+    fn small_trace() -> UtilizationTrace {
+        generate_trace(&TraceConfig {
+            n_vms: 40,
+            n_samples: 96, // one day
+            interval_s: 900.0,
+            seed: 99,
+        })
+    }
+
+    fn churn_workload(trace: &UtilizationTrace, cfg: &ChurnConfig) -> ChurnWorkload {
+        ChurnWorkload::generate(cfg, trace.n_samples(), trace.interval_s())
+    }
+
+    /// Bitwise comparison of the large-scale rollup (the fields the
+    /// sharding suites pin).
+    fn assert_base_bit_identical(a: &LargeScaleResult, b: &LargeScaleResult, ctx: &str) {
+        assert_eq!(a.n_vms, b.n_vms, "{ctx}");
+        assert_eq!(
+            a.total_energy_wh.to_bits(),
+            b.total_energy_wh.to_bits(),
+            "{ctx}: total energy"
+        );
+        assert_eq!(a.migrations, b.migrations, "{ctx}: migrations");
+        assert_eq!(
+            a.mean_active_servers.to_bits(),
+            b.mean_active_servers.to_bits(),
+            "{ctx}: mean active"
+        );
+        assert_eq!(a.peak_active_servers, b.peak_active_servers, "{ctx}");
+        assert_eq!(a.optimizer_invocations, b.optimizer_invocations, "{ctx}");
+        assert_eq!(a.relief_migrations, b.relief_migrations, "{ctx}");
+        assert_eq!(
+            a.sla_violation_fraction.to_bits(),
+            b.sla_violation_fraction.to_bits(),
+            "{ctx}: SLA fraction"
+        );
+        assert_eq!(
+            a.wake_energy_wh.to_bits(),
+            b.wake_energy_wh.to_bits(),
+            "{ctx}: wake energy"
+        );
+        assert_eq!(a.final_placements, b.final_placements, "{ctx}: placements");
+    }
+
+    #[test]
+    fn zero_event_run_is_bit_identical_to_run_large_scale() {
+        let t = small_trace();
+        let cfg = LargeScaleConfig::new(40, OptimizerKind::Ipac);
+        let empty = ChurnWorkload::empty(t.n_samples(), t.interval_s());
+        let opts = RunOptions::default().with_series();
+        let plain = crate::run_large_scale(&t, &cfg, &opts).unwrap();
+        let churned = run_churn(&t, &cfg, &empty, AdmissionPolicy::WakeAndRetry, &opts).unwrap();
+        assert_base_bit_identical(&plain, &churned.base, "zero-event churn");
+        assert_eq!(plain.series.len(), churned.base.series.len());
+        for (a, b) in plain.series.iter().zip(&churned.base.series) {
+            assert_eq!(a.power_w.to_bits(), b.power_w.to_bits());
+            assert_eq!(a.active_servers, b.active_servers);
+        }
+        assert_eq!(churned.arrivals, 0);
+        assert_eq!(churned.departures, 0);
+        assert_eq!(churned.rejections, 0);
+        assert_eq!(churned.live_churn_vms, 0);
+    }
+
+    #[test]
+    fn steady_churn_admits_departs_and_recycles() {
+        let t = small_trace();
+        let cfg = LargeScaleConfig::new(40, OptimizerKind::Ipac);
+        // Short lifetimes: plenty of departures inside one day, so later
+        // arrivals must land in recycled slots.
+        let wl_cfg = ChurnConfig {
+            mean_lifetime_s: 3.0 * 3600.0,
+            ..ChurnConfig::steady(60.0, 0xC0FF)
+        };
+        let wl = churn_workload(&t, &wl_cfg);
+        assert!(wl.total_arrivals() > 10, "workload should churn");
+        let r = run_churn(
+            &t,
+            &cfg,
+            &wl,
+            AdmissionPolicy::WakeAndRetry,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.arrivals, wl.total_arrivals() as u64);
+        assert!(r.departures > 0, "short lifetimes must depart in-horizon");
+        assert!(r.admitted > 0);
+        assert_eq!(r.admitted + r.rejections, r.arrivals);
+        assert!(
+            r.recycled_slots > 0,
+            "arrivals after departures must reuse freed slots"
+        );
+        // Live churn VMs appear in the final placements under their
+        // offset external labels.
+        let churn_placed = r
+            .base
+            .final_placements
+            .iter()
+            .filter(|(id, _)| *id >= 40)
+            .count();
+        assert!(churn_placed <= r.live_churn_vms);
+        assert!(r.base.total_energy_wh > 0.0);
+    }
+
+    #[test]
+    fn reject_policy_counts_rejections_on_a_tight_fleet() {
+        let t = small_trace();
+        // A deliberately small fleet: active capacity runs out, and under
+        // Reject there is no wake fallback.
+        let cfg = LargeScaleConfig {
+            n_servers: Some(10),
+            ..LargeScaleConfig::new(40, OptimizerKind::Ipac)
+        };
+        let wl = churn_workload(&t, &ChurnConfig::with_flash_crowd(40.0, 8, 30, 0xBEEF));
+        let r = run_churn(
+            &t,
+            &cfg,
+            &wl,
+            AdmissionPolicy::Reject,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert!(r.rejections > 0, "tight fleet must reject some arrivals");
+        assert_eq!(r.wake_retries, 0, "Reject never wakes servers");
+        assert_eq!(r.peak_queue_depth, 0, "Reject never queues");
+        assert_eq!(r.admitted + r.rejections, r.arrivals);
+    }
+
+    #[test]
+    fn queue_policy_holds_arrivals_instead_of_rejecting() {
+        let t = small_trace();
+        let cfg = LargeScaleConfig {
+            n_servers: Some(10),
+            ..LargeScaleConfig::new(40, OptimizerKind::Ipac)
+        };
+        let wl = churn_workload(&t, &ChurnConfig::with_flash_crowd(40.0, 8, 30, 0xBEEF));
+        let r = run_churn(
+            &t,
+            &cfg,
+            &wl,
+            AdmissionPolicy::Queue,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.rejections, 0, "Queue never rejects");
+        assert!(r.peak_queue_depth > 0, "the flash crowd must back up");
+        assert!(r.admitted <= r.arrivals);
+    }
+
+    #[test]
+    fn wake_and_retry_uses_the_sleeping_pool() {
+        let t = small_trace();
+        // Enough total servers, but most are asleep after consolidation,
+        // so a flash crowd overflows the active set and must wake hosts.
+        let cfg = LargeScaleConfig {
+            n_servers: Some(40),
+            ..LargeScaleConfig::new(40, OptimizerKind::Ipac)
+        };
+        let wl = churn_workload(&t, &ChurnConfig::with_flash_crowd(20.0, 12, 40, 0xD00D));
+        let telemetry = Telemetry::enabled();
+        let opts = RunOptions::default().with_telemetry(&telemetry);
+        let r = run_churn(&t, &cfg, &wl, AdmissionPolicy::WakeAndRetry, &opts).unwrap();
+        assert!(r.wake_retries > 0, "the burst must overflow active hosts");
+        let hists = telemetry.histogram_summaries();
+        let wake = hists
+            .iter()
+            .find(|h| h.name == "churn.wake_wait_ns")
+            .expect("wake wait histogram recorded");
+        assert_eq!(wake.count, r.wake_retries);
+        // All catalog wake latencies are 25–30 s.
+        assert!(
+            wake.min >= 25e9 && wake.max <= 30e9,
+            "modeled, not wall-clock"
+        );
+        let counters = telemetry.counter_values();
+        let counter = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .expect("counter registered")
+        };
+        assert_eq!(counter("churn.arrivals"), r.arrivals);
+        assert_eq!(counter("churn.wake_retries"), r.wake_retries);
+    }
+
+    #[test]
+    fn horizon_mismatch_is_rejected() {
+        let t = small_trace();
+        let cfg = LargeScaleConfig::new(40, OptimizerKind::Ipac);
+        let wl = ChurnWorkload::empty(48, t.interval_s());
+        assert!(matches!(
+            run_churn(
+                &t,
+                &cfg,
+                &wl,
+                AdmissionPolicy::Queue,
+                &RunOptions::default()
+            ),
+            Err(CoreError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn churn_run_is_shard_invariant() {
+        let t = small_trace();
+        let cfg = LargeScaleConfig::new(40, OptimizerKind::Ipac);
+        let wl = churn_workload(&t, &ChurnConfig::with_flash_crowd(40.0, 12, 25, 0xACE));
+        let opts = RunOptions::default();
+        let single = run_churn(&t, &cfg, &wl, AdmissionPolicy::WakeAndRetry, &opts).unwrap();
+        for shards in [2usize, 8] {
+            let sharded = run_churn(
+                &t,
+                &cfg,
+                &wl,
+                AdmissionPolicy::WakeAndRetry,
+                &opts.with_shards(shards),
+            )
+            .unwrap();
+            assert_base_bit_identical(&single.base, &sharded.base, &format!("shards={shards}"));
+            assert_eq!(single.arrivals, sharded.arrivals);
+            assert_eq!(single.departures, sharded.departures);
+            assert_eq!(single.admitted, sharded.admitted);
+            assert_eq!(single.rejections, sharded.rejections);
+            assert_eq!(single.wake_retries, sharded.wake_retries);
+            assert_eq!(single.peak_queue_depth, sharded.peak_queue_depth);
+            assert_eq!(single.recycled_slots, sharded.recycled_slots);
+        }
+    }
+}

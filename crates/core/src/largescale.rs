@@ -203,14 +203,19 @@ pub fn run_large_scale(
     opts: &RunOptions<'_>,
 ) -> Result<LargeScaleResult> {
     let telemetry = opts.telemetry();
-    run_large_scale_impl(trace, cfg, opts, &telemetry)
+    run_large_scale_impl(trace, cfg, opts, &telemetry, None)
 }
 
-fn run_large_scale_impl(
+/// The shared replay loop under both [`run_large_scale`] (no lifecycle
+/// events, `churn: None`) and [`crate::run_churn`]. Every churn hook is
+/// behind the `Option`, so the fixed-population path is byte-identical to
+/// the pre-churn loop.
+pub(crate) fn run_large_scale_impl(
     trace: &UtilizationTrace,
     cfg: &LargeScaleConfig,
     opts: &RunOptions<'_>,
     telemetry: &Telemetry,
+    mut churn: Option<&mut crate::churn::ChurnCtx<'_>>,
 ) -> Result<LargeScaleResult> {
     if cfg.n_vms == 0 || cfg.n_vms > trace.n_vms() {
         return Err(CoreError::BadConfig(format!(
@@ -298,7 +303,19 @@ fn run_large_scale_impl(
         crate::shard::map_slice_mut(&mut dc.demands_mut()[..cfg.n_vms], shards, |vm, d| {
             *d = trace.demand_ghz(vm, t).max(0.0);
         });
+        if let Some(ctx) = churn.as_deref() {
+            // Churn slots (arena region past the base population): live
+            // owners read their workload demand, vacant/queued slots 0.
+            ctx.write_demands(&mut dc, t, shards);
+        }
         demand_span.finish();
+        // Lifecycle events due at this sample: departures free their arena
+        // slots, arrivals go through admission. Runs between the demand
+        // update and consolidation so the optimizer always re-plans the
+        // post-event population.
+        if let Some(ctx) = churn.as_deref_mut() {
+            ctx.apply_events(&mut dc, t, shards, telemetry)?;
+        }
         // Long-period consolidation.
         if t > 0 && t % cfg.optimizer_period_samples == 0 {
             optimizer.optimize(&mut dc, &[])?;

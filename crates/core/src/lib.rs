@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod controller;
 pub mod cosim;
 pub mod experiments;
@@ -37,6 +38,7 @@ pub mod run;
 pub mod shard;
 pub mod testbed;
 
+pub use churn::{run_churn, ChurnResult};
 pub use controller::{IdentificationConfig, ResponseTimeController};
 pub use cosim::{run_cosim, CosimConfig, CosimResult};
 pub use experiments::Fig6Config;

@@ -27,6 +27,16 @@
 //! * [`DataCenter::snapshot`] returns a cheap [`Snapshot`] — an `Arc`
 //!   clone — that read-only shard workers can walk while the live state
 //!   keeps mutating (first mutation after a snapshot clones the block).
+//!
+//! # Slot recycling
+//!
+//! Removing a VM bumps its slot's generation and pushes the slot onto a
+//! free list; the next registration pops it (LIFO) instead of growing the
+//! arena, so lifecycle churn keeps the arena at its high-water live
+//! population. Handles are generation-tagged, so a handle minted for a
+//! removed tenant keeps failing with [`DcError::StaleHandle`] even after
+//! the slot hosts a new VM. Runs that never remove a VM never touch the
+//! free list and stay byte-identical to the pre-recycling arena.
 
 use crate::server::{CpuArbitrator, Server, ServerHandle, ServerState};
 use crate::vm::{VmHandle, VmId, VmSpec};
@@ -69,7 +79,7 @@ pub enum DvfsDecision {
 #[derive(Debug, Clone, Default)]
 struct DcState {
     servers: Vec<Server>,
-    /// VM arena; `None` marks a removed (permanently vacant) slot.
+    /// VM arena; `None` marks a vacant (removed, recyclable) slot.
     vms: Vec<Option<VmSpec>>,
     /// Current CPU demand (GHz) per VM slot; 0.0 for vacant slots.
     demand: Vec<f64>,
@@ -79,6 +89,14 @@ struct DcState {
     hosted: Vec<Vec<VmHandle>>,
     /// External-label index, VmId-ordered.
     index: BTreeMap<VmId, VmHandle>,
+    /// Per-slot generation: the generation the slot's *current or next*
+    /// occupant is (or will be) addressed under. Bumped on removal, so
+    /// handles minted for earlier tenants fail the generation comparison.
+    vm_gen: Vec<u32>,
+    /// Vacant slot indices available for reuse (LIFO). While this is empty
+    /// — i.e. in any run that never removes a VM — registration appends,
+    /// byte-identical to the pre-recycling arena.
+    free: Vec<usize>,
     /// Site index per server slot (site 0 when unspecified).
     site_of: Vec<u32>,
     /// Current facility PUE per site; every site starts at 1.0 (facility
@@ -88,17 +106,28 @@ struct DcState {
 
 impl DcState {
     fn vm_ref(&self, h: VmHandle) -> Result<&VmSpec> {
+        if self.vm_gen.get(h.index()).copied() != Some(h.generation()) {
+            return Err(DcError::StaleHandle(h.index()));
+        }
         self.vms
             .get(h.index())
             .and_then(|slot| slot.as_ref())
             .ok_or(DcError::StaleHandle(h.index()))
     }
 
+    /// Validate a server handle (index in range, generation current —
+    /// servers are never removed, so every live generation is 0) and
+    /// return its slot index.
+    fn server_slot(&self, server: ServerHandle) -> Result<usize> {
+        if server.index() >= self.servers.len() || server.generation() != 0 {
+            return Err(DcError::UnknownServer(server.index()));
+        }
+        Ok(server.index())
+    }
+
     fn hosted_on(&self, server: ServerHandle) -> Result<&[VmHandle]> {
-        self.hosted
-            .get(server.index())
-            .map(|v| v.as_slice())
-            .ok_or(DcError::UnknownServer(server.index()))
+        let s = self.server_slot(server)?;
+        Ok(self.hosted[s].as_slice())
     }
 
     fn server_demand_ghz(&self, server: ServerHandle) -> Result<f64> {
@@ -158,10 +187,8 @@ impl Snapshot {
 
     /// Borrow a server.
     pub fn server(&self, server: ServerHandle) -> Result<&Server> {
-        self.state
-            .servers
-            .get(server.index())
-            .ok_or(DcError::UnknownServer(server.index()))
+        let s = self.state.server_slot(server)?;
+        Ok(&self.state.servers[s])
     }
 
     /// Number of registered (live) VMs.
@@ -394,10 +421,8 @@ impl DataCenter {
 
     /// Borrow a server.
     pub fn server(&self, server: ServerHandle) -> Result<&Server> {
-        self.state
-            .servers
-            .get(server.index())
-            .ok_or(DcError::UnknownServer(server.index()))
+        let s = self.state.server_slot(server)?;
+        Ok(&self.state.servers[s])
     }
 
     /// All servers, slot-indexed.
@@ -416,25 +441,46 @@ impl DataCenter {
     /// Register a VM (initially unplaced); returns its arena handle. The
     /// spec's `cpu_demand_ghz` seeds the live demand table. The external
     /// label must be unique among live VMs.
+    ///
+    /// Slots of removed VMs are recycled (most recently freed first) under
+    /// a bumped generation, so the arena never grows past its high-water
+    /// live population; with no free slot the arena appends, exactly as it
+    /// did before recycling existed.
     pub fn add_vm(&mut self, spec: VmSpec) -> Result<VmHandle> {
         let id = spec.id;
         if self.state.index.contains_key(&id) {
             return Err(DcError::BadPlacement(format!("VM {id} already exists")));
         }
         let st = self.state_mut();
-        let slot = st.vms.len();
-        let h = VmHandle::from_index(slot);
-        st.demand.push(spec.cpu_demand_ghz);
-        st.vms.push(Some(spec));
-        st.placement.push(None);
+        let h = match st.free.pop() {
+            Some(slot) => {
+                debug_assert!(st.vms[slot].is_none(), "free list holds only vacant slots");
+                let h = VmHandle::new(slot, st.vm_gen[slot]);
+                st.demand[slot] = spec.cpu_demand_ghz;
+                st.vms[slot] = Some(spec);
+                st.placement[slot] = None;
+                h
+            }
+            None => {
+                let slot = st.vms.len();
+                let h = VmHandle::from_index(slot);
+                st.demand.push(spec.cpu_demand_ghz);
+                st.vms.push(Some(spec));
+                st.placement.push(None);
+                st.vm_gen.push(0);
+                h
+            }
+        };
         st.index.insert(id, h);
         Ok(h)
     }
 
     /// Deregister a VM (unplacing it first if hosted) and return its spec.
-    /// The slot becomes permanently vacant — it is never recycled, so every
-    /// outstanding handle to the removed VM stays stale forever instead of
-    /// silently aliasing a later arrival.
+    /// The slot's generation is bumped and the slot joins the free list for
+    /// reuse by a later arrival; every outstanding handle to the removed VM
+    /// fails the generation comparison from now on
+    /// ([`crate::DcError::StaleHandle`]), so it can never alias the slot's
+    /// next tenant.
     pub fn remove_vm(&mut self, h: VmHandle) -> Result<VmSpec> {
         let id = self.state.vm_ref(h)?.id;
         if self.placement_of(h).is_some() {
@@ -443,6 +489,8 @@ impl DataCenter {
         let st = self.state_mut();
         st.index.remove(&id);
         st.demand[h.index()] = 0.0;
+        st.vm_gen[h.index()] += 1;
+        st.free.push(h.index());
         Ok(st.vms[h.index()].take().expect("checked occupied above"))
     }
 
@@ -451,9 +499,10 @@ impl DataCenter {
         self.state.index.len()
     }
 
-    /// Arena length in slots (live VMs plus permanently vacant slots); the
-    /// bound for slot-enumerating fan-out loops and the length of
-    /// [`DataCenter::demands`].
+    /// Arena length in slots (live VMs plus vacant slots awaiting reuse);
+    /// the bound for slot-enumerating fan-out loops and the length of
+    /// [`DataCenter::demands`]. Because vacant slots are recycled before
+    /// the arena grows, this never exceeds the high-water live population.
     pub fn vm_slots(&self) -> usize {
         self.state.vms.len()
     }
@@ -544,10 +593,7 @@ impl DataCenter {
     pub fn place_vm(&mut self, h: VmHandle, server: ServerHandle) -> Result<()> {
         let vm = self.state.vm_ref(h)?;
         let (id, vm_mem) = (vm.id, vm.memory_mib);
-        let s = server.index();
-        if s >= self.state.servers.len() {
-            return Err(DcError::UnknownServer(s));
-        }
+        let s = self.state.server_slot(server)?;
         if self.state.placement[h.index()].is_some() {
             return Err(DcError::BadPlacement(format!(
                 "VM {id} is already placed; use migrate_vm"
@@ -646,10 +692,7 @@ impl DataCenter {
 
     /// Put an *empty* active server to sleep.
     pub fn sleep_server(&mut self, server: ServerHandle) -> Result<()> {
-        let s = server.index();
-        if s >= self.state.servers.len() {
-            return Err(DcError::UnknownServer(s));
-        }
+        let s = self.state.server_slot(server)?;
         if !self.state.hosted[s].is_empty() {
             return Err(DcError::Invalid(format!(
                 "server {s} still hosts {} VMs",
@@ -666,10 +709,7 @@ impl DataCenter {
     /// Wake a sleeping server (to its maximum frequency; the next DVFS pass
     /// throttles it down).
     pub fn wake_server(&mut self, server: ServerHandle) -> Result<()> {
-        let s = server.index();
-        if s >= self.state.servers.len() {
-            return Err(DcError::UnknownServer(s));
-        }
+        let s = self.state.server_slot(server)?;
         if !self.state.servers[s].is_active() {
             let spec = &self.state.servers[s].spec;
             let wake_wh = spec.power.static_watts * spec.wake_latency_s / 3600.0;
@@ -709,8 +749,8 @@ impl DataCenter {
     /// it. Pure per-server work — safe to fan out over shard workers; feed
     /// the index-ordered results to [`DataCenter::apply_dvfs_decisions`].
     pub fn dvfs_decision(&self, server: ServerHandle, sleep_idle: bool) -> Result<DvfsDecision> {
-        let s = server.index();
-        let srv = self.state.servers.get(s).ok_or(DcError::UnknownServer(s))?;
+        let s = self.state.server_slot(server)?;
+        let srv = &self.state.servers[s];
         if !srv.is_active() {
             return Ok(DvfsDecision::Hold);
         }
@@ -1069,24 +1109,35 @@ mod arena_tests {
     }
 
     #[test]
-    fn removed_slots_are_never_recycled() {
+    fn removed_slots_are_recycled_under_a_new_generation() {
         let mut dc = DataCenter::new();
         dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
         let a = dc.add_vm(VmSpec::new(1, 1.0, 512.0)).unwrap();
         let b = dc.add_vm(VmSpec::new(2, 1.0, 512.0)).unwrap();
         dc.remove_vm(a).unwrap();
-        // Re-adding the same label lands in a fresh slot, not slot 0.
+        // The next arrival reuses slot 0 under generation 1; the arena does
+        // not grow.
         let a2 = dc.add_vm(VmSpec::new(1, 2.0, 512.0)).unwrap();
         assert_ne!(a2, a);
-        assert_eq!(a2.index(), 2);
-        assert_eq!(dc.vm_slots(), 3, "tombstone slot is kept");
+        assert_eq!(a2.index(), a.index(), "freed slot is reused");
+        assert_eq!(a2.generation(), a.generation() + 1);
+        assert_eq!(dc.vm_slots(), 2, "arena stays at its high-water mark");
         assert_eq!(dc.n_vms(), 2);
-        // The stale handle still refuses to alias the new arrival.
-        assert!(dc.vm(a).is_err());
+        // The stale handle still refuses to alias the new tenant.
+        assert_eq!(dc.vm(a).unwrap_err(), DcError::StaleHandle(a.index()));
         assert_eq!(dc.lookup(VmId(1)), Some(a2));
         assert_eq!(dc.vm_demand(a2).unwrap(), 2.0);
         // Untouched VM is unaffected.
         assert_eq!(dc.vm(b).unwrap().id, VmId(2));
+        // Removing the recycled tenant frees the slot again for a third
+        // generation; the generation-1 handle goes stale in turn.
+        dc.remove_vm(a2).unwrap();
+        let a3 = dc.add_vm(VmSpec::new(11, 3.0, 512.0)).unwrap();
+        assert_eq!(a3.index(), a.index());
+        assert_eq!(a3.generation(), 2);
+        assert!(dc.vm(a2).is_err());
+        assert_eq!(dc.vm(a3).unwrap().id, VmId(11));
+        assert_eq!(dc.vm_slots(), 2);
     }
 
     #[test]

@@ -45,8 +45,9 @@ pub enum DcError {
     UnknownVm(u64),
     /// Referenced an unknown server.
     UnknownServer(usize),
-    /// Used a [`VmHandle`] whose arena slot is vacant (the VM was removed;
-    /// slots are never recycled) or out of range.
+    /// Used a [`VmHandle`] whose generation no longer matches its arena
+    /// slot (the VM was removed; the slot may since host a new tenant
+    /// under a bumped generation) or whose slot is out of range.
     StaleHandle(usize),
     /// VM is already placed / not placed as required.
     BadPlacement(String),

@@ -8,33 +8,48 @@
 use crate::power::PowerModel;
 use crate::profile::ProfileId;
 
-/// Copyable handle addressing one server slot in the
+/// Copyable generation-tagged handle addressing one server slot in the
 /// [`crate::DataCenter`] arena.
 ///
-/// Servers are never removed, so a server handle obtained from
-/// [`crate::DataCenter::add_server`] stays valid for the lifetime of the
-/// data center; an out-of-range handle yields
+/// Server handles carry the same index + generation shape as
+/// [`crate::VmHandle`], and every validity check compares generations.
+/// Servers are never removed, so every server slot stays at generation 0
+/// and a handle obtained from [`crate::DataCenter::add_server`] stays
+/// valid for the lifetime of the data center; an out-of-range (or
+/// fabricated non-zero-generation) handle yields
 /// [`crate::DcError::UnknownServer`] at the use site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ServerHandle(usize);
+pub struct ServerHandle {
+    index: usize,
+    generation: u32,
+}
 
 impl ServerHandle {
     /// Handle for a server slot index. Intended for fan-out loops that
     /// enumerate servers (`0..n_servers`) and for converting the raw
     /// indices carried by consolidation plans back into handles.
     pub fn from_index(slot: usize) -> ServerHandle {
-        ServerHandle(slot)
+        ServerHandle {
+            index: slot,
+            generation: 0,
+        }
     }
 
     /// The arena slot this handle addresses.
     pub fn index(self) -> usize {
-        self.0
+        self.index
+    }
+
+    /// The slot generation this handle was issued for — always 0 today,
+    /// because servers are never removed from the arena.
+    pub fn generation(self) -> u32 {
+        self.generation
     }
 }
 
 impl std::fmt::Display for ServerHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "srv#{}", self.0)
+        write!(f, "srv#{}", self.index)
     }
 }
 

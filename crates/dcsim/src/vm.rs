@@ -21,34 +21,62 @@ impl std::fmt::Display for VmId {
     }
 }
 
-/// Copyable handle addressing one VM slot in the [`crate::DataCenter`]
-/// arena.
+/// Copyable generation-tagged handle addressing one VM slot in the
+/// [`crate::DataCenter`] arena.
 ///
-/// Handles are stable: a slot index never changes while the VM is
-/// registered, and removed slots are never recycled, so a handle is either
-/// valid or permanently stale (stale use returns
-/// [`crate::DcError::StaleHandle`]). Obtained from
-/// [`crate::DataCenter::add_vm`] or [`crate::DataCenter::lookup`].
+/// A handle pairs the slot index with the slot's *generation* at the time
+/// the handle was issued. Removing a VM bumps its slot's generation and
+/// recycles the slot through a free list, so a later arrival may occupy
+/// the same index under a higher generation; every validity check compares
+/// generations, so an outstanding handle to the removed tenant keeps
+/// returning [`crate::DcError::StaleHandle`] instead of silently aliasing
+/// the new one. Obtained from [`crate::DataCenter::add_vm`] or
+/// [`crate::DataCenter::lookup`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct VmHandle(usize);
+pub struct VmHandle {
+    index: usize,
+    generation: u32,
+}
 
 impl VmHandle {
-    /// Handle for an arena slot index. Intended for fan-out loops that
-    /// enumerate slots (`0..arena_len`); an out-of-range or vacant index
-    /// yields [`crate::DcError::StaleHandle`] at the use site, never UB.
+    /// Handle for an arena slot at a specific generation (what the arena
+    /// mints on registration; [`crate::DataCenter::lookup`] returns the
+    /// live occupant's handle).
+    pub(crate) fn new(index: usize, generation: u32) -> VmHandle {
+        VmHandle { index, generation }
+    }
+
+    /// Generation-0 handle for an arena slot index. Intended for fan-out
+    /// loops that enumerate slots (`0..arena_len`) of a churn-free arena
+    /// (no removal ever bumps a generation there); an out-of-range, vacant,
+    /// or recycled slot yields [`crate::DcError::StaleHandle`] at the use
+    /// site, never UB.
     pub fn from_index(slot: usize) -> VmHandle {
-        VmHandle(slot)
+        VmHandle {
+            index: slot,
+            generation: 0,
+        }
     }
 
     /// The arena slot this handle addresses.
     pub fn index(self) -> usize {
-        self.0
+        self.index
+    }
+
+    /// The slot generation this handle was issued for (0 until the slot is
+    /// first recycled).
+    pub fn generation(self) -> u32 {
+        self.generation
     }
 }
 
 impl std::fmt::Display for VmHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "vm#{}", self.0)
+        if self.generation == 0 {
+            write!(f, "vm#{}", self.index)
+        } else {
+            write!(f, "vm#{}g{}", self.index, self.generation)
+        }
     }
 }
 

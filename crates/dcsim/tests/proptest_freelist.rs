@@ -1,0 +1,115 @@
+//! Property gate for the slot-recycling free list: under *arbitrary*
+//! create/destroy/create interleavings,
+//!
+//! 1. no stale handle is ever resurrected — every handle minted for a
+//!    removed VM keeps failing with `DcError::StaleHandle`, even after its
+//!    slot hosts a new tenant under a bumped generation;
+//! 2. the arena never grows past its high-water live population (vacant
+//!    slots are reused before the arena appends);
+//! 3. label-index iteration stays strictly ascending by `VmId` throughout.
+//!
+//! Failures replay with `VDC_CHECK_SEED`.
+
+use vdc_check::{check, from_fn, prop_assert, prop_assert_eq, Gen, TestRng};
+use vdc_dcsim::{DataCenter, DcError, VmId, VmSpec};
+
+const CASES: u32 = 48;
+
+/// One lifecycle script: positive label = register `VmId(label)`, negative
+/// = remove a pseudo-randomly chosen live VM (the value picks which).
+#[derive(Debug, Clone)]
+struct Script {
+    ops: Vec<i64>,
+}
+
+fn script() -> impl Gen<Value = Script> {
+    from_fn(|rng: &mut TestRng| {
+        let n_ops = rng.usize_in(1, 60);
+        let ops = (0..n_ops)
+            .map(|_| {
+                // Removal-heavy mix over a small label space: plenty of
+                // destroy/create collisions on the same slots.
+                if rng.usize_in(0, 2) == 0 {
+                    -(rng.u64_in(0, 1 << 20) as i64) - 1
+                } else {
+                    rng.u64_in(0, 10) as i64
+                }
+            })
+            .collect();
+        Script { ops }
+    })
+}
+
+#[test]
+fn free_list_never_resurrects_and_never_grows_past_high_water() {
+    check(CASES, &script(), |s| {
+        let mut dc = DataCenter::new();
+        let mut live = std::collections::BTreeMap::new();
+        let mut dead_handles = Vec::new();
+        let mut high_water = 0usize;
+        for &op in &s.ops {
+            if op >= 0 {
+                let id = VmId(op as u64);
+                if let Ok(handle) = dc.add_vm(VmSpec::new(id.0, 0.5, 256.0)) {
+                    // A recycled slot must come back under a strictly
+                    // higher generation than any dead handle it had.
+                    for dead in dead_handles
+                        .iter()
+                        .filter(|h: &&vdc_dcsim::VmHandle| h.index() == handle.index())
+                    {
+                        prop_assert!(
+                            handle.generation() > dead.generation(),
+                            "slot {} reissued at generation {} <= dead generation {}",
+                            handle.index(),
+                            handle.generation(),
+                            dead.generation()
+                        );
+                    }
+                    live.insert(id, handle);
+                    high_water = high_water.max(live.len());
+                }
+            } else if !live.is_empty() {
+                let pick = (-op - 1) as usize % live.len();
+                let id = *live.keys().nth(pick).expect("pick in range");
+                let handle = live.remove(&id).expect("tracked live VM");
+                let spec = dc.remove_vm(handle).expect("live handle removes cleanly");
+                prop_assert_eq!(spec.id, id, "removed the VM the handle named");
+                dead_handles.push(handle);
+            }
+            // (2) Arena length never exceeds the high-water live count.
+            prop_assert!(
+                dc.vm_slots() <= high_water,
+                "arena grew to {} slots with high-water population {}",
+                dc.vm_slots(),
+                high_water
+            );
+            // (1) Every dead handle stays dead, whatever now occupies its
+            // slot.
+            for dead in &dead_handles {
+                prop_assert_eq!(
+                    dc.vm(*dead).unwrap_err(),
+                    DcError::StaleHandle(dead.index()),
+                    "stale handle {:?} resurrected",
+                    dead
+                );
+                prop_assert_eq!(dc.placement_of(*dead), None);
+            }
+            // (3) Label iteration stays strictly ascending by VmId and in
+            // sync with the reference map.
+            let order: Vec<VmId> = dc.vm_handles().map(|(id, _)| id).collect();
+            prop_assert!(
+                order.windows(2).all(|w| w[0] < w[1]),
+                "label iteration not strictly ascending: {:?}",
+                order
+            );
+            let reference: Vec<VmId> = live.keys().copied().collect();
+            prop_assert_eq!(&order, &reference, "live set diverged");
+            prop_assert_eq!(dc.n_vms(), live.len());
+        }
+        // Live handles still resolve to their own specs at the end.
+        for (&id, &handle) in &live {
+            prop_assert_eq!(dc.vm(handle).expect("live handle resolves").id, id);
+        }
+        Ok(())
+    });
+}

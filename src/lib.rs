@@ -15,6 +15,7 @@
 //! ```
 
 pub use vdc_apptier as apptier;
+pub use vdc_churn as churn;
 pub use vdc_consolidate as consolidate;
 pub use vdc_control as control;
 pub use vdc_core as core;

@@ -14,6 +14,8 @@
 //! `ci.sh` additionally runs this suite with `VDC_SHARDS=1` and
 //! `VDC_SHARDS=8`, which the env-driven test below picks up.
 
+use vdc_churn::{AdmissionPolicy, ChurnConfig, ChurnWorkload};
+use vdc_core::churn::{run_churn, ChurnResult};
 use vdc_core::cosim::{run_cosim, CosimConfig, CosimResult};
 use vdc_core::largescale::{run_large_scale, LargeScaleConfig, LargeScaleResult, OptimizerKind};
 use vdc_core::RunOptions;
@@ -228,6 +230,82 @@ fn heterogeneous_fleet_is_bit_identical_across_shard_counts() {
             base_state,
             telemetry_state(&tel),
             "fleet shards={shards}: telemetry counters diverged"
+        );
+    }
+}
+
+fn churn_at(trace: &UtilizationTrace, shards: usize) -> (ChurnResult, Vec<u64>, Telemetry) {
+    // Short steady lifetimes so plenty of VMs depart before the flash
+    // crowd lands — later arrivals then reuse freed arena slots, putting
+    // slot recycling squarely on the sharded path under test.
+    let wl_cfg = ChurnConfig {
+        mean_lifetime_s: 3_600.0,
+        ..ChurnConfig::with_flash_crowd(80.0, 24, 25, 0xF1A5)
+    };
+    let workload = ChurnWorkload::generate(&wl_cfg, trace.n_samples(), trace.interval_s());
+    let cfg = LargeScaleConfig::new(40, OptimizerKind::Ipac);
+    let telemetry = Telemetry::enabled();
+    let opts = RunOptions::default()
+        .with_telemetry(&telemetry)
+        .with_shards(shards)
+        .with_series();
+    let result = run_churn(trace, &cfg, &workload, AdmissionPolicy::WakeAndRetry, &opts)
+        .expect("churn replay runs");
+    let series_bits = result
+        .base
+        .series
+        .iter()
+        .map(|s| s.power_w.to_bits())
+        .collect();
+    (result, series_bits, telemetry)
+}
+
+/// Lifecycle churn — arrivals, departures, admission control, and the
+/// slot-recycling free list — must not perturb shard equivalence: the
+/// flash-crowd scenario is bit-identical at every shard count, down to
+/// the churn counters and the final placements of recycled slots.
+#[test]
+fn flash_crowd_churn_is_bit_identical_across_shard_counts() {
+    let trace = generate_trace(&TraceConfig {
+        n_vms: 40,
+        n_samples: 48,
+        interval_s: 900.0,
+        seed: 0xC4B2,
+    });
+    let (baseline, base_series, base_tel) = churn_at(&trace, 1);
+    let base_state = telemetry_state(&base_tel);
+    assert!(baseline.arrivals > 0, "scenario must churn");
+    assert!(baseline.departures > 0, "scenario must free slots");
+    assert!(
+        baseline.recycled_slots > 0,
+        "scenario must exercise slot recycling"
+    );
+    for shards in SHARD_COUNTS {
+        let (r, series, tel) = churn_at(&trace, shards);
+        let ctx = format!("churn shards={shards}");
+        assert_largescale_identical(&baseline.base, &r.base, &ctx);
+        assert_eq!(base_series, series, "{ctx}: power series diverged");
+        assert_eq!(baseline.arrivals, r.arrivals, "{ctx}: arrivals");
+        assert_eq!(baseline.departures, r.departures, "{ctx}: departures");
+        assert_eq!(baseline.admitted, r.admitted, "{ctx}: admitted");
+        assert_eq!(baseline.rejections, r.rejections, "{ctx}: rejections");
+        assert_eq!(baseline.wake_retries, r.wake_retries, "{ctx}: wake retries");
+        assert_eq!(
+            baseline.peak_queue_depth, r.peak_queue_depth,
+            "{ctx}: peak queue depth"
+        );
+        assert_eq!(
+            baseline.recycled_slots, r.recycled_slots,
+            "{ctx}: recycled slots"
+        );
+        assert_eq!(
+            baseline.live_churn_vms, r.live_churn_vms,
+            "{ctx}: live churn VMs"
+        );
+        assert_eq!(
+            base_state,
+            telemetry_state(&tel),
+            "{ctx}: telemetry counters diverged"
         );
     }
 }
