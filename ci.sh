@@ -79,6 +79,7 @@ mkdir -p "$scratch"
 (cd "$scratch" && ../release/cosim --apps 6 --days 1 -q >/dev/null)
 (cd "$scratch" && ../release/week_profile -q >/dev/null)
 (cd "$scratch" && ../release/churn -q >/dev/null)
+(cd "$scratch" && ../release/faults --apps 8 --samples 48 -q >/dev/null)
 run ./target/release/results_gate --baseline results --fresh "$scratch/results"
 
 echo "==> ci.sh: all gates passed"

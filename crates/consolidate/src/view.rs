@@ -11,7 +11,7 @@
 
 use crate::item::{PackItem, PackServer};
 use crate::plan::ConsolidationPlan;
-use vdc_dcsim::{DataCenter, DcError, ServerHandle, Snapshot};
+use vdc_dcsim::{DataCenter, DcError, ServerHandle, ServerState, Snapshot, VmId};
 
 /// Snapshot every server of the data center as a [`PackServer`], with its
 /// currently hosted VMs as residents.
@@ -43,10 +43,18 @@ pub fn pack_server(view: &Snapshot, server: ServerHandle) -> PackServer {
             PackItem::new(spec.id, demand, spec.memory_mib)
         })
         .collect();
+    // A failed host is advertised with zero capacity, so no packer can
+    // select it as a destination (it would reject wake and placement
+    // anyway); healthy servers are byte-identical to the pre-fault view.
+    let failed = matches!(srv.state, ServerState::Failed);
     PackServer {
         index: server.index(),
-        cpu_capacity_ghz: srv.spec.max_capacity_ghz(),
-        mem_capacity_mib: srv.spec.memory_mib,
+        cpu_capacity_ghz: if failed {
+            0.0
+        } else {
+            srv.spec.max_capacity_ghz()
+        },
+        mem_capacity_mib: if failed { 0.0 } else { srv.spec.memory_mib },
         max_watts: srv.spec.power.max_watts,
         idle_watts: srv.spec.power.static_watts,
         active: srv.is_active(),
@@ -115,6 +123,113 @@ pub fn apply_plan(dc: &mut DataCenter, plan: &ConsolidationPlan) -> Result<Apply
         }
     }
     Ok(stats)
+}
+
+/// Outcome of one [`apply_plan_fallible`] call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartialApply {
+    /// What was actually committed (same semantics as [`apply_plan`]).
+    pub stats: ApplyStats,
+    /// Retry attempts spent beyond each migration's first attempt.
+    pub retries: u64,
+    /// Migrations left uncommitted: the first to exhaust its attempt
+    /// budget plus the truncated suffix behind it.
+    pub dropped: usize,
+    /// VMs that could not even be rolled back to their source server
+    /// (earlier committed moves consumed its capacity); they are left
+    /// unplaced for the caller to count as stranded.
+    pub stranded: Vec<VmId>,
+}
+
+impl PartialApply {
+    /// Whether the plan committed only a prefix of its migrations.
+    pub fn is_partial(&self) -> bool {
+        self.dropped > 0
+    }
+}
+
+/// Execute a plan whose migrations may fail: migration attempt outcomes
+/// come from `attempt_fails` (drawn once per attempt, in move order — the
+/// caller supplies a deterministic stream), and each migration gets up to
+/// `max_attempts` tries. The first migration that exhausts its budget
+/// truncates the migration suffix: the plan commits its successful prefix
+/// and every uncommitted mover is rolled back to its source. Initial
+/// placements (`from == None`) are not live migrations and always apply;
+/// wake and sleep phases match [`apply_plan`].
+///
+/// With `attempt_fails` never returning true, the result is identical to
+/// [`apply_plan`] — the fault-free contract the run loops rely on.
+pub fn apply_plan_fallible(
+    dc: &mut DataCenter,
+    plan: &ConsolidationPlan,
+    max_attempts: u32,
+    mut attempt_fails: impl FnMut() -> bool,
+) -> Result<PartialApply, DcError> {
+    let mut out = PartialApply::default();
+    let resolve =
+        |dc: &DataCenter, id: vdc_dcsim::VmId| dc.lookup(id).ok_or(DcError::UnknownVm(id.0));
+    for &s in &plan.servers_to_wake {
+        dc.wake_server(ServerHandle::from_index(s))?;
+        out.stats.woken += 1;
+    }
+    // Detach every migrating VM first (plans are only consistent in their
+    // final state; see apply_plan).
+    for mv in &plan.moves {
+        if mv.from.is_some() {
+            let h = resolve(dc, mv.vm)?;
+            dc.unplace_vm(h)?;
+        }
+    }
+    // Attach in move order, drawing per-attempt outcomes for migrations.
+    let mut truncated = false;
+    for mv in &plan.moves {
+        let h = resolve(dc, mv.vm)?;
+        let to = ServerHandle::from_index(mv.to);
+        let from = match mv.from {
+            None => {
+                // Initial placement: not a live migration, always applies.
+                dc.place_vm(h, to)?;
+                out.stats.placements += 1;
+                continue;
+            }
+            Some(from) => ServerHandle::from_index(from),
+        };
+        let mut committed = false;
+        if !truncated {
+            for attempt in 0..max_attempts.max(1) {
+                if attempt > 0 {
+                    out.retries += 1;
+                }
+                if !attempt_fails() {
+                    committed = true;
+                    break;
+                }
+            }
+        }
+        if committed {
+            dc.place_vm(h, to)?;
+            let rec = dc.note_migration(h, from, to)?;
+            out.stats.migrations += 1;
+            out.stats.migrated_mib += rec.memory_mib;
+        } else {
+            out.dropped += 1;
+            truncated = true; // commit only the successful prefix
+                              // Roll the mover back to its source; if capacity is gone
+                              // (an earlier committed move filled it), the VM stays
+                              // unplaced and is reported stranded.
+            if dc.place_vm(h, from).is_err() {
+                out.stranded.push(mv.vm);
+            }
+        }
+    }
+    for &s in &plan.servers_to_sleep {
+        let h = ServerHandle::from_index(s);
+        if dc.hosted_vms(h)?.is_empty() {
+            dc.sleep_server(h)?;
+            out.stats.slept += 1;
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -209,6 +324,99 @@ mod tests {
         let stats = apply_plan(&mut dc, &plan).unwrap();
         assert_eq!(stats.placements, 1);
         assert_eq!(dc.placement_of(h), Some(srv(0)));
+    }
+
+    #[test]
+    fn failed_server_advertises_zero_capacity() {
+        let mut dc = testbed();
+        dc.fail_server(srv(1)).unwrap();
+        let snap = snapshot(&dc);
+        assert_eq!(snap[1].cpu_capacity_ghz, 0.0);
+        assert_eq!(snap[1].mem_capacity_mib, 0.0);
+        assert!(!snap[1].active);
+        assert!(snap[1].resident.is_empty());
+        // Healthy neighbours are untouched.
+        assert_eq!(snap[0].cpu_capacity_ghz, 12.0);
+        // A plan over this view never targets the failed host: pack a VM
+        // and check it lands elsewhere.
+        let plan = ipac_plan(
+            &snap,
+            &[PackItem::new(VmId(9), 1.0, 1024.0)],
+            &AndConstraint::cpu_and_memory(),
+            &AlwaysAllow,
+            &IpacConfig::default(),
+        );
+        assert!(plan.moves.iter().all(|m| m.to != 1));
+    }
+
+    #[test]
+    fn fallible_apply_with_no_failures_matches_apply_plan() {
+        let build = || {
+            let mut dc = testbed();
+            let a = dc.add_vm(VmSpec::new(1, 1.0, 1024.0)).unwrap();
+            let b = dc.add_vm(VmSpec::new(2, 1.0, 1024.0)).unwrap();
+            dc.place_vm(a, srv(0)).unwrap();
+            dc.place_vm(b, srv(1)).unwrap();
+            dc
+        };
+        let mut plain = build();
+        let mut fallible = build();
+        let plan = ipac_plan(
+            &snapshot(&plain),
+            &[],
+            &AndConstraint::cpu_and_memory(),
+            &AlwaysAllow,
+            &IpacConfig::default(),
+        );
+        let stats = apply_plan(&mut plain, &plan).unwrap();
+        let partial = apply_plan_fallible(&mut fallible, &plan, 3, || false).unwrap();
+        assert_eq!(partial.stats, stats);
+        assert!(!partial.is_partial());
+        assert_eq!(partial.retries, 0);
+        assert!(partial.stranded.is_empty());
+        for id in [1u64, 2] {
+            let p = |dc: &DataCenter| dc.lookup(VmId(id)).and_then(|h| dc.placement_of(h));
+            assert_eq!(p(&plain), p(&fallible));
+        }
+    }
+
+    #[test]
+    fn exhausted_migration_commits_the_prefix_and_rolls_back_the_rest() {
+        let mut dc = testbed();
+        let a = dc.add_vm(VmSpec::new(1, 1.0, 1024.0)).unwrap();
+        let b = dc.add_vm(VmSpec::new(2, 1.0, 1024.0)).unwrap();
+        dc.place_vm(a, srv(0)).unwrap();
+        dc.place_vm(b, srv(1)).unwrap();
+        let plan = ConsolidationPlan {
+            moves: vec![
+                crate::plan::Move {
+                    vm: VmId(1),
+                    from: Some(0),
+                    to: 1,
+                    cpu_ghz: 1.0,
+                    mem_mib: 1024.0,
+                },
+                crate::plan::Move {
+                    vm: VmId(2),
+                    from: Some(1),
+                    to: 0,
+                    cpu_ghz: 1.0,
+                    mem_mib: 1024.0,
+                },
+            ],
+            servers_to_sleep: vec![],
+            servers_to_wake: vec![],
+        };
+        // First migration succeeds; the second fails all three attempts.
+        let mut draws = [false, true, true, true].into_iter();
+        let partial = apply_plan_fallible(&mut dc, &plan, 3, || draws.next().unwrap()).unwrap();
+        assert_eq!(partial.stats.migrations, 1, "prefix committed");
+        assert_eq!(partial.dropped, 1);
+        assert_eq!(partial.retries, 2);
+        assert!(partial.is_partial());
+        assert!(partial.stranded.is_empty());
+        assert_eq!(dc.placement_of(a), Some(srv(1)), "committed move stands");
+        assert_eq!(dc.placement_of(b), Some(srv(1)), "dropped move rolled back");
     }
 
     #[test]

@@ -285,6 +285,14 @@ impl MpcController {
         self.disturbance_gain = gain.clamp(1e-6, 1.0);
     }
 
+    /// Replace the reference trajectory at run time — e.g. a supervisor
+    /// widening the approach band while re-entering closed loop after a
+    /// sensor outage. The cached step-response predictor depends only on
+    /// the model and horizons, so it survives the swap.
+    pub fn set_reference(&mut self, reference: ReferenceTrajectory) {
+        self.cfg.reference = reference;
+    }
+
     /// Attach a telemetry sink. Each [`step`](MpcController::step) then
     /// records the predictor-assembly vs QP-solve phase split
     /// (`mpc.predict_ns` / `mpc.solve_ns`), fallback counters, and

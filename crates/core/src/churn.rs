@@ -42,6 +42,7 @@ use vdc_consolidate::item::{PackItem, PackServer};
 use vdc_consolidate::minslack::MinSlackConfig;
 use vdc_consolidate::pac::pac_pack;
 use vdc_dcsim::{DataCenter, ServerHandle, VmHandle, VmId, VmSpec};
+use vdc_faults::FaultSession;
 use vdc_telemetry::Telemetry;
 use vdc_trace::UtilizationTrace;
 
@@ -144,8 +145,10 @@ pub(crate) struct ChurnCtx<'a> {
     owner: Vec<Option<(usize, usize)>>,
     /// Live churn VMs by workload index (placed or queued).
     live: BTreeMap<usize, VmHandle>,
-    /// Workload indices awaiting placement, FIFO (policy `Queue`).
-    queue: VecDeque<usize>,
+    /// Workload indices awaiting placement, FIFO (policy `Queue`), each
+    /// tagged with the sample it first joined the queue so admission can
+    /// report how long it aged (`churn.queue_wait`, in samples).
+    queue: VecDeque<(usize, usize)>,
     arrivals: u64,
     departures: u64,
     admitted: u64,
@@ -222,6 +225,7 @@ impl<'a> ChurnCtx<'a> {
         t: usize,
         shards: usize,
         telemetry: &Telemetry,
+        faults: Option<&mut FaultSession<'_>>,
     ) -> Result<()> {
         let events = self.workload.events();
         let (mut departs, mut arrives) = (Vec::new(), Vec::new());
@@ -237,7 +241,7 @@ impl<'a> ChurnCtx<'a> {
             // Rejected (or already-departed) VMs have no live handle; their
             // departure is a no-op.
             if let Some(h) = self.live.remove(&k) {
-                self.queue.retain(|&q| q != k);
+                self.queue.retain(|&(q, _)| q != k);
                 let slot = h.index();
                 debug_assert!(slot >= self.base_vms, "churn never removes base VMs");
                 dc.remove_vm(h)?;
@@ -270,11 +274,16 @@ impl<'a> ChurnCtx<'a> {
             self.live.insert(k, h);
         }
 
-        // Admission batch: queued VMs retry first (FIFO), then the new
-        // arrivals in event order.
-        let batch: Vec<usize> = self.queue.drain(..).chain(arrives).collect();
+        // Admission batch: queued VMs retry first (FIFO, keeping their
+        // original enqueue sample so their age survives retries), then the
+        // new arrivals in event order (age zero).
+        let batch: Vec<(usize, usize)> = self
+            .queue
+            .drain(..)
+            .chain(arrives.into_iter().map(|k| (k, t)))
+            .collect();
         if !batch.is_empty() {
-            self.admit(dc, batch, t, shards, telemetry)?;
+            self.admit(dc, batch, t, shards, telemetry, faults)?;
         }
         self.peak_queue_depth = self.peak_queue_depth.max(self.queue.len());
         telemetry.gauge_set("churn.queue_depth", self.queue.len() as f64);
@@ -282,17 +291,24 @@ impl<'a> ChurnCtx<'a> {
     }
 
     /// Pack a batch of registered-but-unplaced churn VMs onto the fleet
-    /// and apply the admission policy to the leftovers.
+    /// and apply the admission policy to the leftovers. Each batch entry
+    /// carries the sample the VM first asked for placement, so `Queue`
+    /// admissions can report their age.
     fn admit(
         &mut self,
         dc: &mut DataCenter,
-        batch: Vec<usize>,
+        batch: Vec<(usize, usize)>,
         t: usize,
         shards: usize,
         telemetry: &Telemetry,
+        mut faults: Option<&mut FaultSession<'_>>,
     ) -> Result<()> {
         let placement_span = telemetry.timer("churn.placement_ns");
-        let items: Vec<PackItem> = batch.iter().map(|&k| self.item(k, t)).collect();
+        let items: Vec<PackItem> = batch.iter().map(|&(k, _)| self.item(k, t)).collect();
+        let since: BTreeMap<u64, usize> = batch
+            .iter()
+            .map(|&(k, enqueued_at)| (self.ext_id(k), enqueued_at))
+            .collect();
         let constraint = AndConstraint::cpu_and_memory();
         // Index-ordered sharded snapshot (bit-identical at every shard
         // count), split into the active fleet — the Minimum Slack first
@@ -301,10 +317,20 @@ impl<'a> ChurnCtx<'a> {
             snapshot_sharded(dc, shards)
                 .into_iter()
                 .partition(|s| s.active);
+        // Crashed hosts fall into the inactive partition advertising zero
+        // capacity; drop them so the wake fallback can't select one.
+        sleeping_view.retain(|s| s.cpu_capacity_ghz > 0.0);
         let first = pac_pack(&mut active_view, &items, &constraint, &self.minslack);
         self.place_assignments(dc, &active_view, &first.assignments, t, t)?;
         self.admitted += first.assignments.len() as u64;
         telemetry.incr("churn.admitted", first.assignments.len() as u64);
+        if self.policy == AdmissionPolicy::Queue {
+            // Queue aging: samples waited between first asking and being
+            // admitted (zero for arrivals placed the same sample).
+            for &(id, _) in &first.assignments {
+                telemetry.record("churn.queue_wait", (t - since[&id.0]) as f64);
+            }
+        }
 
         let mut leftovers: Vec<u64> = first.unplaced.iter().map(|id| id.0).collect();
         if !leftovers.is_empty() && self.policy == AdmissionPolicy::WakeAndRetry {
@@ -322,29 +348,44 @@ impl<'a> ChurnCtx<'a> {
             // Model the host's wake latency as an admission delay: the VM
             // occupies its slot now but its demand starts next sample, and
             // the wait is recorded against the churn.wake_wait_ns histogram.
+            // Under fault injection the wake itself may fail — the chosen
+            // host never comes up and the VM falls through to the leftover
+            // walk below, so `churn.wake_retries` only ever counts wakes
+            // that actually happened.
+            let mut committed: Vec<(VmId, usize)> = Vec::with_capacity(second.assignments.len());
+            let mut failed_wakes: Vec<u64> = Vec::new();
             for &(id, si) in &second.assignments {
+                if faults.as_deref_mut().is_some_and(|f| f.draw_wake_failure()) {
+                    failed_wakes.push(id.0);
+                    continue;
+                }
                 let server = ServerHandle::from_index(sleeping_view[si].index);
                 let wake_latency_s = dc.server(server)?.spec.wake_latency_s;
                 telemetry.record("churn.wake_wait_ns", wake_latency_s * 1e9);
-                self.wake_retries += 1;
-                telemetry.incr("churn.wake_retries", 1);
-                let _ = id;
+                committed.push((id, si));
             }
-            self.place_assignments(dc, &sleeping_view, &second.assignments, t, t + 1)?;
-            self.admitted += second.assignments.len() as u64;
-            telemetry.incr("churn.admitted", second.assignments.len() as u64);
-            leftovers = second.unplaced.iter().map(|id| id.0).collect();
+            self.place_assignments(dc, &sleeping_view, &committed, t, t + 1)?;
+            self.wake_retries += committed.len() as u64;
+            telemetry.incr("churn.wake_retries", committed.len() as u64);
+            self.admitted += committed.len() as u64;
+            telemetry.incr("churn.admitted", committed.len() as u64);
+            leftovers = second
+                .unplaced
+                .iter()
+                .map(|id| id.0)
+                .chain(failed_wakes)
+                .collect();
         }
 
         // Walk the original batch order so the queue keeps FIFO fairness
         // (pac_pack's unplaced list comes back in swap-perturbed order).
         let leftover_set: std::collections::BTreeSet<u64> = leftovers.into_iter().collect();
-        for k in batch {
+        for (k, enqueued_at) in batch {
             if !leftover_set.contains(&self.ext_id(k)) {
                 continue;
             }
             match self.policy {
-                AdmissionPolicy::Queue => self.queue.push_back(k),
+                AdmissionPolicy::Queue => self.queue.push_back((k, enqueued_at)),
                 AdmissionPolicy::Reject | AdmissionPolicy::WakeAndRetry => {
                     let h = self.live.remove(&k).expect("unplaced VM is live");
                     dc.remove_vm(h)?;
@@ -576,6 +617,92 @@ mod tests {
         };
         assert_eq!(counter("churn.arrivals"), r.arrivals);
         assert_eq!(counter("churn.wake_retries"), r.wake_retries);
+    }
+
+    #[test]
+    fn wake_failures_reject_instead_of_counting_retries() {
+        use vdc_faults::{FaultConfig, FaultPlan};
+        let t = small_trace();
+        let cfg = LargeScaleConfig {
+            n_servers: Some(40),
+            ..LargeScaleConfig::new(40, OptimizerKind::Ipac)
+        };
+        let wl = churn_workload(
+            &t,
+            &vdc_churn::ChurnConfig::with_flash_crowd(20.0, 12, 40, 0xD00D),
+        );
+        // Baseline: the burst overflows active hosts and wakes sleepers.
+        let clean = run_churn(
+            &t,
+            &cfg,
+            &wl,
+            AdmissionPolicy::WakeAndRetry,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert!(clean.wake_retries > 0);
+        // Every wake fails: the same VMs fall through to rejection and the
+        // retry counter must stay exactly zero — no overcounting a wake
+        // that never happened.
+        let plan = FaultPlan::generate(
+            &FaultConfig::flaky_wakes(1.0, 0xD00D),
+            t.n_samples(),
+            t.interval_s(),
+            0,
+            0,
+        );
+        let telemetry = Telemetry::enabled();
+        let opts = RunOptions::default()
+            .with_telemetry(&telemetry)
+            .with_faults(&plan);
+        let faulted = run_churn(&t, &cfg, &wl, AdmissionPolicy::WakeAndRetry, &opts).unwrap();
+        assert_eq!(faulted.wake_retries, 0, "no wake ever succeeded");
+        assert!(
+            faulted.rejections >= clean.rejections,
+            "failed wakes become rejections"
+        );
+        let counters = telemetry.counter_values();
+        let counter = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .expect("counter registered")
+        };
+        assert_eq!(counter("churn.wake_retries"), 0);
+        assert!(counter("fault.wake_failures") > 0);
+        assert_eq!(faulted.admitted + faulted.rejections, faulted.arrivals);
+    }
+
+    #[test]
+    fn queue_policy_records_wait_ages() {
+        let t = small_trace();
+        let cfg = LargeScaleConfig {
+            n_servers: Some(10),
+            ..LargeScaleConfig::new(40, OptimizerKind::Ipac)
+        };
+        let wl = churn_workload(
+            &t,
+            &vdc_churn::ChurnConfig::with_flash_crowd(40.0, 8, 30, 0xBEEF),
+        );
+        let telemetry = Telemetry::enabled();
+        let opts = RunOptions::default().with_telemetry(&telemetry);
+        let r = run_churn(&t, &cfg, &wl, AdmissionPolicy::Queue, &opts).unwrap();
+        assert!(r.peak_queue_depth > 0, "the flash crowd must back up");
+        let hists = telemetry.histogram_summaries();
+        let wait = hists
+            .iter()
+            .find(|h| h.name == "churn.queue_wait")
+            .expect("queue wait histogram recorded under Queue policy");
+        assert_eq!(
+            wait.count, r.admitted,
+            "every admitted VM records its age (including zero waits)"
+        );
+        assert!(wait.min >= 0.0);
+        assert!(
+            wait.max >= 1.0,
+            "a backed-up queue must admit some VM at least one sample late"
+        );
     }
 
     #[test]

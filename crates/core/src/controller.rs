@@ -12,6 +12,15 @@ use vdc_apptier::Plant;
 use vdc_control::sysid::{fit_arx, ExperimentData, Prbs};
 use vdc_control::{ArxModel, MpcConfig, MpcController, ReferenceTrajectory};
 
+/// Nominal reference time constant, as a multiple of the control period.
+const REFERENCE_TC_PERIODS: f64 = 3.0;
+
+/// How much the reference band widens while re-entering closed loop after
+/// a sensor outage: the first clean sample steps toward the set point this
+/// much slower, so a single post-outage measurement can't command an
+/// aggressive allocation move.
+const SAFE_MODE_REFERENCE_SCALE: f64 = 3.0;
+
 /// Configuration of the identification experiment (§IV-B / §VI-A: the
 /// paper identifies at concurrency 40).
 #[derive(Debug, Clone)]
@@ -106,6 +115,10 @@ pub struct ResponseTimeController {
     /// over ~100 requests are heavy-tailed; light filtering keeps the
     /// controller from chasing sampling noise.
     filtered_ms: Option<f64>,
+    /// Sensor-dropout safe mode: the monitor is down, the allocation is
+    /// frozen at its last-good value, and the reference band is widened
+    /// for re-entry. Cleared by the first clean sample.
+    safe_mode: bool,
 }
 
 /// EWMA weight of the newest p90 sample.
@@ -128,8 +141,8 @@ impl ResponseTimeController {
             )));
         }
         let n = model.n_inputs();
-        let reference =
-            ReferenceTrajectory::new(period_s, 3.0 * period_s).map_err(CoreError::Control)?;
+        let reference = ReferenceTrajectory::new(period_s, REFERENCE_TC_PERIODS * period_s)
+            .map_err(CoreError::Control)?;
         let cfg = MpcConfig {
             prediction_horizon: 10,
             control_horizon: 3,
@@ -154,6 +167,7 @@ impl ResponseTimeController {
             metric: SlaMetric::P90,
             last_measurement_ms: None,
             filtered_ms: None,
+            safe_mode: false,
         })
     }
 
@@ -212,6 +226,40 @@ impl ResponseTimeController {
         self.last_measurement_ms
     }
 
+    /// Whether the controller is holding in sensor-dropout safe mode.
+    pub fn in_safe_mode(&self) -> bool {
+        self.safe_mode
+    }
+
+    /// Run one control period with the response-time sensor *down*: the
+    /// plant advances under the frozen last-good allocation, completions
+    /// drain unseen (the monitor that would time them is the thing that
+    /// failed), and no MPC step runs — stepping on a fabricated number
+    /// would chase noise that isn't there. The first masked period enters
+    /// safe mode: the EWMA filter resets (pre-outage dynamics are stale)
+    /// and the reference band widens so re-entry is gentle. Returns
+    /// `Ok(None)` always — a masked sample is *absent*, never `0.0`.
+    pub fn control_period_masked<P: Plant + ?Sized>(
+        &mut self,
+        plant: &mut P,
+    ) -> Result<Option<f64>> {
+        plant.set_allocations(self.allocation())?;
+        plant.run_for(self.period_s);
+        let _ = plant.take_completed();
+        if !self.safe_mode {
+            self.safe_mode = true;
+            if let Ok(wide) = ReferenceTrajectory::new(
+                self.period_s,
+                SAFE_MODE_REFERENCE_SCALE * REFERENCE_TC_PERIODS * self.period_s,
+            ) {
+                self.mpc.set_reference(wide);
+            }
+        }
+        self.last_measurement_ms = None;
+        self.filtered_ms = None;
+        Ok(None)
+    }
+
     /// Run one control period against the plant: simulate `period_s`
     /// seconds, measure the 90-percentile response time, and compute and
     /// apply the next allocation. Returns the measurement (ms) if any
@@ -253,6 +301,17 @@ impl ResponseTimeController {
         };
         self.filtered_ms = Some(filtered);
         let _step = self.mpc.step(filtered)?;
+        if self.safe_mode {
+            // First clean sample after a sensor outage: the step above ran
+            // against the widened band; restore the nominal reference and
+            // re-enter normal closed-loop operation.
+            self.safe_mode = false;
+            if let Ok(nominal) =
+                ReferenceTrajectory::new(self.period_s, REFERENCE_TC_PERIODS * self.period_s)
+            {
+                self.mpc.set_reference(nominal);
+            }
+        }
         Ok(Some(t_ms))
     }
 

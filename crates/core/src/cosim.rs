@@ -17,6 +17,10 @@
 //! dynamic reallocation replaces.
 
 use crate::controller::{identify_plant, IdentificationConfig, ResponseTimeController};
+use crate::largescale::{
+    apply_host_events, apply_relief, fault_rollup, optimize_step, register_fault_keys,
+    WATCHDOG_STREAK,
+};
 use crate::optimizer::{OptimizerConfig, PowerOptimizer};
 use crate::run::RunOptions;
 use crate::{CoreError, Result};
@@ -25,8 +29,8 @@ use vdc_apptier::{AnalyticPlant, Plant, WorkloadProfile};
 use vdc_consolidate::constraint::AndConstraint;
 use vdc_consolidate::item::PackItem;
 use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
-use vdc_consolidate::view::apply_plan;
 use vdc_dcsim::{DataCenter, Server, ServerSpec, VmHandle, VmSpec};
+use vdc_faults::FaultSession;
 use vdc_telemetry::Telemetry;
 use vdc_trace::UtilizationTrace;
 
@@ -114,10 +118,27 @@ struct App {
 /// sample, returning the per-period measurements. This is the shard worker
 /// body: it touches only the application's own plant and controller, so a
 /// worker needs no view of any other shard.
-fn app_sample_periods(app: &mut App, cfg: &CosimConfig, period_s: f64) -> Result<Vec<Option<f64>>> {
+fn app_sample_periods(
+    app: &mut App,
+    cfg: &CosimConfig,
+    period_s: f64,
+    masked: bool,
+) -> Result<Vec<Option<f64>>> {
     let mut measured = Vec::with_capacity(cfg.control_periods_per_sample);
     for _ in 0..cfg.control_periods_per_sample {
-        let m = if cfg.controllers_enabled {
+        let m = if masked {
+            // Sensor dropout: the plant still runs, but the monitor that
+            // would time its completions is down — no measurement exists
+            // for this period (None, never a fabricated 0.0).
+            if cfg.controllers_enabled {
+                app.controller.control_period_masked(&mut app.plant)?
+            } else {
+                app.plant.set_allocations(&app.static_alloc)?;
+                app.plant.run_for(period_s);
+                let _ = app.plant.take_completed();
+                None
+            }
+        } else if cfg.controllers_enabled {
             app.controller.control_period(&mut app.plant)?
         } else {
             app.plant.set_allocations(&app.static_alloc)?;
@@ -267,10 +288,20 @@ fn run_cosim_impl(
         });
     }
 
+    // Fault session: gated exactly like the large-scale loop — empty
+    // plans were normalized to `None` by `RunOptions::faults()`, so a
+    // fault-free run executes the pre-fault instruction stream.
+    let mut faults = opts.faults().map(|plan| {
+        register_fault_keys(telemetry);
+        telemetry.incr("control.safe_mode_samples", 0);
+        FaultSession::new(plan)
+    });
+    let mut violation_streak = 0usize;
+
     // Initial placement.
     let mut optimizer = PowerOptimizer::new(OptimizerConfig::ipac_default());
     optimizer.set_telemetry(telemetry.clone());
-    optimizer.optimize(&mut dc, &initial_items)?;
+    optimize_step(&mut optimizer, &mut dc, &initial_items, &mut faults)?;
 
     let constraint = AndConstraint::cpu_and_memory();
     let relief_cfg = ReliefConfig::default();
@@ -300,15 +331,30 @@ fn run_cosim_impl(
         //    single-threaded loop did — so the shard count cannot perturb
         //    any f64 of the result.
         let control_span = telemetry.timer("cosim.control_ns");
+        // The dropout mask is a pure function of the immutable plan, so
+        // shard workers may consult it directly; all mutable fault
+        // accounting stays in the sequential fold below.
+        let plan = faults.as_ref().map(|f| f.plan());
         let per_app: Vec<Result<Vec<Option<f64>>>> =
-            crate::shard::map_slice_mut(&mut apps, shards, |_, app| {
-                app_sample_periods(app, cfg, period_s)
+            crate::shard::map_slice_mut(&mut apps, shards, |a, app| {
+                let masked = plan.is_some_and(|p| p.sensor_dropped(a, t));
+                app_sample_periods(app, cfg, period_s, masked)
             });
         control_span.finish();
         let mut sample_ms_sum = 0.0;
         let mut sample_ms_count = 0usize;
+        let mut sample_violations = 0usize;
         for (a, measurements) in per_app.into_iter().enumerate() {
-            for measured in measurements? {
+            let measurements = measurements?;
+            if plan.is_some_and(|p| p.sensor_dropped(a, t)) {
+                // Masked periods are sensor outage, not starvation — the
+                // controller held its allocation in safe mode.
+                if let Some(f) = faults.as_mut() {
+                    f.safe_mode_samples += cfg.control_periods_per_sample as u64;
+                }
+                continue;
+            }
+            for measured in measurements {
                 if let Some(ms) = measured {
                     telemetry.slo_observe(a as u32, cfg.setpoint_ms, ms, period_s);
                     err_sum += (ms - cfg.setpoint_ms).abs();
@@ -317,6 +363,7 @@ fn run_cosim_impl(
                     sample_ms_count += 1;
                     if ms > 1.5 * cfg.setpoint_ms {
                         violations += 1;
+                        sample_violations += 1;
                     }
                 } else {
                     telemetry.incr("cosim.starved_periods", 1);
@@ -336,15 +383,21 @@ fn run_cosim_impl(
             }
         }
 
+        // 3.5 Host crash/recover events due at this sample (evacuation
+        //     sees the demands just propagated above).
+        if let Some(f) = faults.as_mut() {
+            apply_host_events(&mut dc, f, t, shards, telemetry)?;
+        }
+
         // 4. Data-center level: consolidate on the long period, relieve
         //    overloads otherwise, and always re-run DVFS.
         if t > 0 && t % cfg.optimizer_period_samples == 0 {
-            optimizer.optimize(&mut dc, &[])?;
+            optimize_step(&mut optimizer, &mut dc, &[], &mut faults)?;
         } else {
             let snap = crate::optimizer::snapshot_sharded(&dc, shards);
             let outcome = relieve_overloads(&snap, &constraint, &relief_cfg);
             if !outcome.plan.is_empty() {
-                let stats = apply_plan(&mut dc, &outcome.plan)?;
+                let stats = apply_relief(&mut dc, &outcome.plan, &mut faults, telemetry)?;
                 relief_migrations += stats.migrations as u64;
                 telemetry.incr("cosim.relief_migrations", stats.migrations as u64);
             }
@@ -368,9 +421,39 @@ fn run_cosim_impl(
             -1.0
         });
         telemetry.incr("cosim.samples", 1);
+        // SLO watchdog: consecutive samples with severe violations trip an
+        // out-of-cadence emergency relief pass (matters on optimizer
+        // samples, where the regular relief doesn't run).
+        if faults.is_some() {
+            if sample_violations > 0 {
+                violation_streak += 1;
+            } else {
+                violation_streak = 0;
+            }
+            if violation_streak >= WATCHDOG_STREAK {
+                violation_streak = 0;
+                if let Some(f) = faults.as_mut() {
+                    f.watchdog_reliefs += 1;
+                }
+                telemetry.incr("fault.watchdog_reliefs", 1);
+                let snap = crate::optimizer::snapshot_sharded(&dc, shards);
+                let outcome = relieve_overloads(&snap, &constraint, &relief_cfg);
+                if !outcome.plan.is_empty() {
+                    let stats = apply_relief(&mut dc, &outcome.plan, &mut faults, telemetry)?;
+                    relief_migrations += stats.migrations as u64;
+                    telemetry.incr("cosim.relief_migrations", stats.migrations as u64);
+                }
+            }
+        }
         sample_span.finish();
     }
     total_energy += dc.wake_energy_wh();
+
+    // Run-level roll-up of the fault session.
+    if let Some(f) = &faults {
+        fault_rollup(f, telemetry);
+        telemetry.incr("control.safe_mode_samples", f.safe_mode_samples);
+    }
 
     // Run-level roll-up: DVFS / sleep-state transition counts from the
     // arbitrator and the integrated energy of the horizon.
@@ -535,6 +618,88 @@ mod tests {
             assert_eq!(one.migrations, s.migrations);
             assert_eq!(one.final_placements, s.final_placements);
         }
+    }
+
+    #[test]
+    fn sensor_dropout_engages_safe_mode_without_nans() {
+        use vdc_faults::{FaultConfig, FaultPlan};
+        let t = day_trace(12, 7);
+        let cfg = CosimConfig {
+            n_apps: 12,
+            control_periods_per_sample: 2,
+            ..Default::default()
+        };
+        // Several outages per app-day, each ~2 hours.
+        let plan = FaultPlan::generate(
+            &FaultConfig::sensor_dropout(4.0, 7200.0, 0xD80),
+            t.n_samples(),
+            t.interval_s(),
+            0,
+            cfg.n_apps,
+        );
+        assert!(
+            !plan.dropout_windows().is_empty(),
+            "config must generate dropout windows"
+        );
+        let telemetry = vdc_telemetry::Telemetry::enabled();
+        let opts = RunOptions::default()
+            .with_telemetry(&telemetry)
+            .with_faults(&plan);
+        let r = super::run_cosim(&t, &cfg, &opts).unwrap();
+        let safe_samples = telemetry
+            .counter_values()
+            .into_iter()
+            .find(|(n, _)| n == "control.safe_mode_samples")
+            .map(|(_, v)| v)
+            .expect("safe mode counter registered");
+        assert!(
+            safe_samples > 0,
+            "outages must put controllers in safe mode"
+        );
+        // Masked samples are absent, never fabricated: every series entry
+        // is finite (−1.0 marks a sample with no measurements at all).
+        for (i, &ms) in r.response_series_ms.iter().enumerate() {
+            assert!(ms.is_finite(), "sample {i} response {ms} must be finite");
+            assert!(ms >= -1.0, "sample {i}: {ms}");
+        }
+        for (i, &w) in r.power_series_w.iter().enumerate() {
+            assert!(w.is_finite() && w >= 0.0, "sample {i} power {w}");
+        }
+        assert!(r.mean_tracking_error_ms.is_finite());
+        // Control still works: violations stay rare despite the outages.
+        assert!(
+            r.violation_fraction < 0.10,
+            "violation fraction {} under dropout",
+            r.violation_fraction
+        );
+    }
+
+    #[test]
+    fn host_crashes_in_cosim_keep_the_loop_running() {
+        use vdc_faults::{FaultConfig, FaultPlan};
+        let t = day_trace(10, 8);
+        let cfg = CosimConfig {
+            n_apps: 10,
+            control_periods_per_sample: 2,
+            ..Default::default()
+        };
+        // Generate against a generous host count; out-of-range indices for
+        // the auto-sized fleet are skipped by the run loop.
+        let plan = FaultPlan::generate(
+            &FaultConfig::crash_storm(24.0 * 3600.0, 3600.0, 0xC4A5),
+            t.n_samples(),
+            t.interval_s(),
+            64,
+            cfg.n_apps,
+        );
+        assert!(!plan.host_events().is_empty());
+        let telemetry = vdc_telemetry::Telemetry::enabled();
+        let opts = RunOptions::default()
+            .with_telemetry(&telemetry)
+            .with_faults(&plan);
+        let r = super::run_cosim(&t, &cfg, &opts).unwrap();
+        assert!(r.total_energy_wh > 0.0);
+        assert!(r.mean_tracking_error_ms.is_finite());
     }
 
     #[test]

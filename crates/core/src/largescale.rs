@@ -12,10 +12,13 @@ use crate::run::RunOptions;
 use crate::{CoreError, Result};
 use vdc_apptier::rng::SimRng;
 use vdc_consolidate::constraint::AndConstraint;
-use vdc_consolidate::item::PackItem;
+use vdc_consolidate::item::{PackItem, PackServer};
+use vdc_consolidate::minslack::MinSlackConfig;
+use vdc_consolidate::pac::pac_pack;
 use vdc_consolidate::relief::{relieve_overloads, ReliefConfig};
-use vdc_consolidate::view::apply_plan;
-use vdc_dcsim::{DataCenter, FleetSpec, Server, ServerHandle, ServerSpec, VmSpec};
+use vdc_consolidate::view::{apply_plan, apply_plan_fallible, ApplyStats};
+use vdc_dcsim::{DataCenter, FleetSpec, Server, ServerHandle, ServerSpec, VmHandle, VmSpec};
+use vdc_faults::{FaultSession, HostFaultKind};
 use vdc_telemetry::Telemetry;
 use vdc_trace::UtilizationTrace;
 
@@ -267,8 +270,18 @@ pub(crate) fn run_large_scale_impl(
     optimizer.set_telemetry(telemetry.clone());
     optimizer.set_shards(shards);
 
+    // Fault session. Everything fault-related below is behind this one
+    // `Option`: `RunOptions::faults()` normalizes empty plans to `None`,
+    // so a fault-free run executes the exact pre-fault instruction stream
+    // (the zero-fault byte-identity contract in `tests/determinism.rs`).
+    let mut faults = opts.faults().map(|plan| {
+        register_fault_keys(telemetry);
+        FaultSession::new(plan)
+    });
+    let mut violation_streak = 0usize;
+
     // Initial placement.
-    optimizer.optimize(&mut dc, &initial_items)?;
+    optimize_step(&mut optimizer, &mut dc, &initial_items, &mut faults)?;
 
     let mut series = if opts.capture_series {
         Vec::with_capacity(trace.n_samples())
@@ -314,11 +327,15 @@ pub(crate) fn run_large_scale_impl(
         // update and consolidation so the optimizer always re-plans the
         // post-event population.
         if let Some(ctx) = churn.as_deref_mut() {
-            ctx.apply_events(&mut dc, t, shards, telemetry)?;
+            ctx.apply_events(&mut dc, t, shards, telemetry, faults.as_mut())?;
+        }
+        // Host crash/recover events due at this sample.
+        if let Some(f) = faults.as_mut() {
+            apply_host_events(&mut dc, f, t, shards, telemetry)?;
         }
         // Long-period consolidation.
         if t > 0 && t % cfg.optimizer_period_samples == 0 {
-            optimizer.optimize(&mut dc, &[])?;
+            optimize_step(&mut optimizer, &mut dc, &[], &mut faults)?;
         } else if cfg.overload_relief {
             // On-demand overload mitigation between invocations (§III).
             let snap_span = telemetry.timer("largescale.relief_snapshot_ns");
@@ -326,7 +343,7 @@ pub(crate) fn run_large_scale_impl(
             snap_span.finish();
             let outcome = relieve_overloads(&snap, &relief_constraint, &relief_cfg);
             if !outcome.plan.is_empty() {
-                let stats = apply_plan(&mut dc, &outcome.plan)?;
+                let stats = apply_relief(&mut dc, &outcome.plan, &mut faults, telemetry)?;
                 relief_migrations += stats.migrations as u64;
                 telemetry.incr("largescale.relief_migrations", stats.migrations as u64);
             }
@@ -407,11 +424,42 @@ pub(crate) fn run_large_scale_impl(
                 },
             });
         }
+        // SLO watchdog: three consecutive violation samples trigger an
+        // out-of-cadence emergency relief pass — faulted runs can strand
+        // load in places the periodic cadence is too slow to fix (e.g. a
+        // crash dumped VMs onto already-busy hosts).
+        if faults.is_some() {
+            if sample_unmet > 0.0 {
+                violation_streak += 1;
+            } else {
+                violation_streak = 0;
+            }
+            if violation_streak >= WATCHDOG_STREAK {
+                violation_streak = 0;
+                if let Some(f) = faults.as_mut() {
+                    f.watchdog_reliefs += 1;
+                }
+                telemetry.incr("fault.watchdog_reliefs", 1);
+                let snap = snapshot_sharded(&dc, shards);
+                let outcome = relieve_overloads(&snap, &relief_constraint, &relief_cfg);
+                if !outcome.plan.is_empty() {
+                    let stats = apply_relief(&mut dc, &outcome.plan, &mut faults, telemetry)?;
+                    relief_migrations += stats.migrations as u64;
+                    telemetry.incr("largescale.relief_migrations", stats.migrations as u64);
+                }
+            }
+        }
         sample_span.finish();
     }
     let wake_energy_wh = dc.wake_energy_wh();
     if cfg.count_wake_energy {
         total += wake_energy_wh;
+    }
+
+    // Run-level roll-up of the fault session (per-event counters were
+    // already incremented inline; these are the apply-path aggregates).
+    if let Some(f) = &faults {
+        fault_rollup(f, telemetry);
     }
 
     // Run-level roll-up of arbitrator transitions and integrated energy.
@@ -463,6 +511,182 @@ pub(crate) fn run_large_scale_impl(
         site_energy_wh,
         series,
     })
+}
+
+/// Consecutive SLO-violation samples that trip the fault watchdog's
+/// emergency relief pass.
+pub(crate) const WATCHDOG_STREAK: usize = 3;
+
+/// Fault counter family pre-registered at session creation, so every
+/// faulted run exports the same key set regardless of which paths fire.
+pub(crate) fn register_fault_keys(telemetry: &Telemetry) {
+    for key in [
+        "fault.crashes",
+        "fault.recoveries",
+        "fault.evacuated_vms",
+        "fault.stranded_vms",
+        "fault.watchdog_reliefs",
+        "fault.migration_retries",
+        "fault.migrations_dropped",
+        "fault.plan_partials",
+        "fault.wake_failures",
+        "optimizer.plan_partial",
+    ] {
+        telemetry.incr(key, 0);
+    }
+}
+
+/// End-of-run roll-up of the session's apply-path aggregates (per-event
+/// counters are incremented inline as events fire).
+pub(crate) fn fault_rollup(f: &FaultSession<'_>, telemetry: &Telemetry) {
+    telemetry.incr("fault.migration_retries", f.migration_retries);
+    telemetry.incr("fault.migrations_dropped", f.migrations_dropped);
+    telemetry.incr("fault.plan_partials", f.plan_partials);
+    telemetry.incr("fault.wake_failures", f.wake_failures);
+    telemetry.incr("fault.stranded_vms", f.stranded_vms);
+}
+
+/// Replay every host crash/recover event due at sample `t`. Crashing a
+/// host evacuates its VMs through the Minimum Slack packer onto the
+/// active fleet (spilling onto woken sleepers); whatever fits nowhere is
+/// counted stranded — the VM stays registered but unplaced, so its arena
+/// slot is never recycled out from under external owner bookkeeping.
+/// Out-of-range host indices (a plan drawn for a larger fleet) are
+/// skipped.
+pub(crate) fn apply_host_events(
+    dc: &mut DataCenter,
+    f: &mut FaultSession<'_>,
+    t: usize,
+    shards: usize,
+    telemetry: &Telemetry,
+) -> Result<()> {
+    for ev in f.host_events_at(t) {
+        if ev.host >= dc.n_servers() {
+            continue;
+        }
+        let server = ServerHandle::from_index(ev.host);
+        match ev.kind {
+            HostFaultKind::Crash => {
+                let evacuees = dc.fail_server(server)?;
+                f.crashes += 1;
+                telemetry.incr("fault.crashes", 1);
+                evacuate_vms(dc, &evacuees, shards, f, telemetry)?;
+            }
+            HostFaultKind::Recover => {
+                dc.recover_server(server)?;
+                f.recoveries += 1;
+                telemetry.incr("fault.recoveries", 1);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One optimizer invocation, fault-aware when a session is active. The
+/// fault-free arm is the exact pre-fault call, so runs without a plan are
+/// byte-identical to the historical loop.
+pub(crate) fn optimize_step(
+    optimizer: &mut PowerOptimizer,
+    dc: &mut DataCenter,
+    items: &[PackItem],
+    faults: &mut Option<FaultSession<'_>>,
+) -> Result<ApplyStats> {
+    match faults.as_mut() {
+        Some(f) => optimizer.optimize_faulted(dc, items, f),
+        None => optimizer.optimize(dc, items),
+    }
+}
+
+/// Apply an overload-relief plan, drawing per-attempt migration failures
+/// from the fault session when one is active.
+pub(crate) fn apply_relief(
+    dc: &mut DataCenter,
+    plan: &vdc_consolidate::plan::ConsolidationPlan,
+    faults: &mut Option<FaultSession<'_>>,
+    telemetry: &Telemetry,
+) -> Result<ApplyStats> {
+    match faults.as_mut() {
+        Some(f) => {
+            let max_attempts = f.plan().max_migration_attempts();
+            let partial =
+                apply_plan_fallible(dc, plan, max_attempts, || f.draw_migration_failure())?;
+            f.migration_retries += partial.retries;
+            f.migrations_dropped += partial.dropped as u64;
+            f.stranded_vms += partial.stranded.len() as u64;
+            if partial.is_partial() {
+                f.plan_partials += 1;
+                telemetry.incr("optimizer.plan_partial", 1);
+            }
+            Ok(partial.stats)
+        }
+        None => Ok(apply_plan(dc, plan)?),
+    }
+}
+
+/// Re-place the VMs evacuated from a crashed host: Minimum Slack onto the
+/// active fleet first, spill onto the sleeping pool (waking hosts), and
+/// count whatever fits nowhere as stranded. Stranding only happens when
+/// capacity is genuinely exhausted (not even waking every sleeping host
+/// fits the VM). A stranded VM stays registered but unplaced — removing it
+/// would recycle its arena slot and corrupt any external owner bookkeeping
+/// keyed by slot — and simply runs no work for the rest of the horizon.
+fn evacuate_vms(
+    dc: &mut DataCenter,
+    evacuees: &[VmHandle],
+    shards: usize,
+    faults: &mut FaultSession<'_>,
+    telemetry: &Telemetry,
+) -> Result<()> {
+    if evacuees.is_empty() {
+        return Ok(());
+    }
+    let mut items = Vec::with_capacity(evacuees.len());
+    let mut by_id = std::collections::BTreeMap::new();
+    for &h in evacuees {
+        let spec = dc.vm(h)?;
+        let (id, mem) = (spec.id, spec.memory_mib);
+        items.push(PackItem::new(id, dc.vm_demand(h)?, mem));
+        by_id.insert(id.0, h);
+    }
+    let constraint = AndConstraint::cpu_and_memory();
+    let minslack = MinSlackConfig {
+        shards,
+        ..MinSlackConfig::default()
+    };
+    let (mut active_view, mut sleeping_view): (Vec<PackServer>, Vec<PackServer>) =
+        snapshot_sharded(dc, shards)
+            .into_iter()
+            .partition(|s| s.active);
+    // Failed hosts land in the inactive partition advertising zero
+    // capacity; drop them so the spill pass can't select one (a
+    // zero-demand item would otherwise "fit").
+    sleeping_view.retain(|s| s.cpu_capacity_ghz > 0.0);
+    let first = pac_pack(&mut active_view, &items, &constraint, &minslack);
+    for &(id, si) in &first.assignments {
+        dc.place_vm(
+            by_id[&id.0],
+            ServerHandle::from_index(active_view[si].index),
+        )?;
+    }
+    telemetry.incr("fault.evacuated_vms", first.assignments.len() as u64);
+    if !first.unplaced.is_empty() {
+        let spill_items: Vec<PackItem> = items
+            .iter()
+            .filter(|i| first.unplaced.contains(&i.vm))
+            .cloned()
+            .collect();
+        let second = pac_pack(&mut sleeping_view, &spill_items, &constraint, &minslack);
+        for &(id, si) in &second.assignments {
+            // `place_vm` auto-wakes the sleeping target.
+            dc.place_vm(
+                by_id[&id.0],
+                ServerHandle::from_index(sleeping_view[si].index),
+            )?;
+        }
+        telemetry.incr("fault.evacuated_vms", second.assignments.len() as u64);
+        faults.stranded_vms += second.unplaced.len() as u64;
+    }
+    Ok(())
 }
 
 /// Without DVFS, active servers run at their maximum frequency; idle ones
@@ -657,6 +881,159 @@ mod tests {
         cfg.shards = 0; // auto: host parallelism
         let auto = run_large_scale(&t, &cfg).unwrap();
         assert_results_bit_identical(&single, &auto, "shards=0 (auto)");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use vdc_faults::{FaultConfig, FaultPlan};
+    use vdc_trace::{generate_trace, TraceConfig};
+
+    fn small_trace() -> UtilizationTrace {
+        generate_trace(&TraceConfig {
+            n_vms: 40,
+            n_samples: 96,
+            interval_s: 900.0,
+            seed: 99,
+        })
+    }
+
+    fn counter(telemetry: &Telemetry, name: &str) -> u64 {
+        telemetry
+            .counter_values()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("counter {name} not registered"))
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_a_plain_run() {
+        let t = small_trace();
+        let cfg = LargeScaleConfig::new(40, OptimizerKind::Ipac);
+        let plain = super::run_large_scale(&t, &cfg, &RunOptions::default()).unwrap();
+        let empty = FaultPlan::empty();
+        let faulted =
+            super::run_large_scale(&t, &cfg, &RunOptions::default().with_faults(&empty)).unwrap();
+        super::tests::assert_results_bit_identical(&plain, &faulted, "empty fault plan");
+    }
+
+    #[test]
+    fn quiet_config_generates_an_empty_plan_end_to_end() {
+        let t = small_trace();
+        let cfg = LargeScaleConfig::new(40, OptimizerKind::Ipac);
+        let plan =
+            FaultPlan::generate(&FaultConfig::quiet(7), t.n_samples(), t.interval_s(), 30, 0);
+        assert!(plan.is_empty());
+        let plain = super::run_large_scale(&t, &cfg, &RunOptions::default()).unwrap();
+        let faulted =
+            super::run_large_scale(&t, &cfg, &RunOptions::default().with_faults(&plan)).unwrap();
+        super::tests::assert_results_bit_identical(&plain, &faulted, "quiet plan");
+    }
+
+    #[test]
+    fn crash_storm_evacuates_and_recovers_without_losing_vms() {
+        let t = small_trace();
+        let cfg = LargeScaleConfig {
+            n_servers: Some(30),
+            ..LargeScaleConfig::new(40, OptimizerKind::Ipac)
+        };
+        // Aggressive MTTF: every host fails roughly twice a day.
+        let plan = FaultPlan::generate(
+            &FaultConfig::crash_storm(12.0 * 3600.0, 1800.0, 0xFA11),
+            t.n_samples(),
+            t.interval_s(),
+            30,
+            0,
+        );
+        assert!(!plan.is_empty(), "a crash storm must generate events");
+        let telemetry = Telemetry::enabled();
+        let opts = RunOptions::default()
+            .with_telemetry(&telemetry)
+            .with_faults(&plan);
+        let r = super::run_large_scale(&t, &cfg, &opts).unwrap();
+        assert!(r.total_energy_wh > 0.0);
+        let crashes = counter(&telemetry, "fault.crashes");
+        let recoveries = counter(&telemetry, "fault.recoveries");
+        assert!(crashes > 0, "the storm must crash hosts");
+        assert!(recoveries > 0, "short MTTR must recover hosts in-horizon");
+        assert!(recoveries <= crashes);
+        // Every base VM is either placed at the end or was counted
+        // stranded at some point — none silently vanish.
+        let stranded = counter(&telemetry, "fault.stranded_vms");
+        assert!(
+            r.final_placements.len() as u64 + stranded >= 40,
+            "{} placed + {} stranded events must cover 40 VMs",
+            r.final_placements.len(),
+            stranded
+        );
+    }
+
+    #[test]
+    fn crash_storm_is_deterministic_per_seed() {
+        let t = small_trace();
+        let cfg = LargeScaleConfig {
+            n_servers: Some(30),
+            ..LargeScaleConfig::new(40, OptimizerKind::Ipac)
+        };
+        let plan = FaultPlan::generate(
+            &FaultConfig::crash_storm(12.0 * 3600.0, 1800.0, 0xFA11),
+            t.n_samples(),
+            t.interval_s(),
+            30,
+            0,
+        );
+        let opts = RunOptions::default().with_faults(&plan);
+        let a = super::run_large_scale(&t, &cfg, &opts).unwrap();
+        let b = super::run_large_scale(&t, &cfg, &opts).unwrap();
+        super::tests::assert_results_bit_identical(&a, &b, "same seed, same storm");
+    }
+
+    #[test]
+    fn flaky_migrations_drop_moves_but_commit_the_prefix() {
+        let t = small_trace();
+        let cfg = LargeScaleConfig::new(40, OptimizerKind::Ipac);
+        // Certain failure with a zero retry budget: every migration is
+        // dropped, so only initial placements (and none of the periodic
+        // re-maps) ever move a VM.
+        let plan = FaultPlan::generate(
+            &FaultConfig {
+                migration_backoff_budget: 0,
+                ..FaultConfig::flaky_migrations(1.0, 3)
+            },
+            t.n_samples(),
+            t.interval_s(),
+            0,
+            0,
+        );
+        let telemetry = Telemetry::enabled();
+        let opts = RunOptions::default()
+            .with_telemetry(&telemetry)
+            .with_faults(&plan);
+        let r = super::run_large_scale(&t, &cfg, &opts).unwrap();
+        assert_eq!(r.migrations, 0, "every migration draw fails");
+        assert_eq!(r.final_placements.len(), 40, "placements still complete");
+        assert!(counter(&telemetry, "fault.migrations_dropped") > 0);
+        // Moderate flakiness with retry budget still lands most moves.
+        let flaky = FaultPlan::generate(
+            &FaultConfig::flaky_migrations(0.3, 3),
+            t.n_samples(),
+            t.interval_s(),
+            0,
+            0,
+        );
+        let telemetry2 = Telemetry::enabled();
+        let r2 = super::run_large_scale(
+            &t,
+            &cfg,
+            &RunOptions::default()
+                .with_telemetry(&telemetry2)
+                .with_faults(&flaky),
+        )
+        .unwrap();
+        assert!(r2.migrations > 0, "retries must land most migrations");
+        assert!(counter(&telemetry2, "fault.migration_retries") > 0);
     }
 }
 

@@ -46,6 +46,7 @@ pub use largescale::{run_large_scale, LargeScaleConfig, LargeScaleResult, Optimi
 pub use optimizer::{OptimizerConfig, PowerOptimizer};
 pub use run::RunOptions;
 pub use testbed::{Testbed, TestbedConfig};
+pub use vdc_faults::{FaultConfig, FaultPlan, FaultSession};
 
 /// Errors from the integrated runtime.
 #[derive(Debug)]

@@ -12,8 +12,9 @@ use vdc_consolidate::item::{PackItem, PackServer};
 use vdc_consolidate::plan::ConsolidationPlan;
 use vdc_consolidate::pmapper::pmapper_plan;
 use vdc_consolidate::policy::{AlwaysAllow, MigrationPolicy};
-use vdc_consolidate::view::{apply_plan, ApplyStats};
+use vdc_consolidate::view::{apply_plan, apply_plan_fallible, ApplyStats};
 use vdc_dcsim::{DataCenter, ServerHandle};
+use vdc_faults::FaultSession;
 use vdc_telemetry::Telemetry;
 
 /// Build the consolidation snapshot with per-server view construction
@@ -158,11 +159,48 @@ impl PowerOptimizer {
         let plan = self.plan(dc, new_items);
         let stats = apply_plan(dc, &plan)?;
         span.finish();
+        self.finish_invocation(dc, plan.moves.len(), &stats);
+        Ok(stats)
+    }
+
+    /// One optimizer invocation whose migrations may fail, drawing
+    /// per-attempt outcomes from the fault session. Each migration gets
+    /// the plan's deterministic retry-with-exponential-backoff budget; the
+    /// first migration to exhaust it truncates the suffix, so the plan
+    /// commits its successful prefix (`optimizer.plan_partial` counts
+    /// truncations). With a plan whose migration failure probability is
+    /// zero, this is behaviorally identical to [`PowerOptimizer::optimize`].
+    pub fn optimize_faulted(
+        &mut self,
+        dc: &mut DataCenter,
+        new_items: &[PackItem],
+        faults: &mut FaultSession<'_>,
+    ) -> Result<ApplyStats> {
+        let span = self.telemetry.timer("optimizer.invocation_ns");
+        let plan = self.plan(dc, new_items);
+        let max_attempts = faults.plan().max_migration_attempts();
+        let partial =
+            apply_plan_fallible(dc, &plan, max_attempts, || faults.draw_migration_failure())?;
+        span.finish();
+        self.finish_invocation(dc, plan.moves.len(), &partial.stats);
+        faults.migration_retries += partial.retries;
+        faults.migrations_dropped += partial.dropped as u64;
+        faults.stranded_vms += partial.stranded.len() as u64;
+        if partial.is_partial() {
+            faults.plan_partials += 1;
+            self.telemetry.incr("optimizer.plan_partial", 1);
+        }
+        Ok(partial.stats)
+    }
+
+    /// Shared invocation bookkeeping: counters, telemetry rollups, and the
+    /// post-consolidation slack gauge.
+    fn finish_invocation(&mut self, dc: &DataCenter, proposed: usize, stats: &ApplyStats) {
         self.invocations += 1;
         self.total_migrations += stats.migrations as u64;
         self.telemetry.incr("optimizer.invocations", 1);
         self.telemetry
-            .incr("optimizer.migrations_proposed", plan.moves.len() as u64);
+            .incr("optimizer.migrations_proposed", proposed as u64);
         self.telemetry
             .incr("optimizer.migrations_applied", stats.migrations as u64);
         self.telemetry
@@ -173,7 +211,6 @@ impl PowerOptimizer {
             .record("optimizer.migrated_mib", stats.migrated_mib);
         self.telemetry
             .gauge_set("optimizer.slack_ghz", active_slack_ghz(dc));
-        Ok(stats)
     }
 }
 

@@ -8,6 +8,7 @@
 //! runner is `run_xxx(input, &config, &RunOptions)` and new axes don't
 //! multiply the API again.
 
+use vdc_faults::FaultPlan;
 use vdc_telemetry::Telemetry;
 
 /// Options orthogonal to *what* is simulated: where metrics go, how many
@@ -48,6 +49,12 @@ pub struct RunOptions<'a> {
     /// profile plots read it. The co-simulation's trajectories are part of
     /// its result proper and are always captured.
     pub capture_series: bool,
+    /// Deterministic fault plan injected into the run (host crashes,
+    /// migration/wake failures, sensor dropout). `None` — or a plan for
+    /// which [`FaultPlan::is_empty`] holds — runs fault-free, byte-identical
+    /// to a plain run (the zero-fault contract `tests/determinism.rs`
+    /// enforces). Faulted runs stay bit-identical at every shard count.
+    pub faults: Option<&'a FaultPlan>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -67,6 +74,19 @@ impl<'a> RunOptions<'a> {
     pub fn with_series(mut self) -> Self {
         self.capture_series = true;
         self
+    }
+
+    /// Inject a fault plan.
+    pub fn with_faults(mut self, faults: &'a FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The effective fault plan: `None` when no plan was attached *or* the
+    /// attached plan injects nothing, so every run loop's fault machinery
+    /// is gated on one check and an empty plan cannot perturb anything.
+    pub(crate) fn faults(&self) -> Option<&'a FaultPlan> {
+        self.faults.filter(|p| !p.is_empty())
     }
 
     /// The effective telemetry sink (disabled when none was attached).
@@ -91,8 +111,17 @@ mod tests {
         let opts = RunOptions::default();
         assert!(opts.telemetry.is_none());
         assert!(!opts.capture_series);
+        assert!(opts.faults.is_none());
         assert_eq!(opts.shards_or(3), 3);
         assert!(!opts.telemetry().is_enabled());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_normalized_away() {
+        let empty = FaultPlan::empty();
+        let opts = RunOptions::default().with_faults(&empty);
+        assert!(opts.faults.is_some(), "attached as given...");
+        assert!(opts.faults().is_none(), "...but effectively fault-free");
     }
 
     #[test]

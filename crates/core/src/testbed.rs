@@ -239,7 +239,7 @@ impl Testbed {
         let freq_ghz = (0..self.dc.n_servers())
             .map(|i| match self.dc.servers()[i].state {
                 vdc_dcsim::ServerState::Active { freq_ghz } => freq_ghz,
-                vdc_dcsim::ServerState::Sleeping => 0.0,
+                vdc_dcsim::ServerState::Sleeping | vdc_dcsim::ServerState::Failed => 0.0,
             })
             .collect();
 

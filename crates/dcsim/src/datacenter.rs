@@ -218,8 +218,11 @@ impl Snapshot {
         &self.state.placement
     }
 
-    /// Current server hosting a VM, if placed.
+    /// Current server hosting a VM, if placed. Stale handles (the slot
+    /// was recycled under a bumped generation) read `None`, never the new
+    /// tenant's placement.
     pub fn placement_of(&self, h: VmHandle) -> Option<ServerHandle> {
+        self.state.vm_ref(h).ok()?;
         self.state.placement.get(h.index()).copied().flatten()
     }
 
@@ -525,8 +528,11 @@ impl DataCenter {
         self.state.index.iter().map(|(&id, &h)| (id, h))
     }
 
-    /// Current server hosting a VM, if placed.
+    /// Current server hosting a VM, if placed. Stale handles (the slot
+    /// was recycled under a bumped generation) read `None`, never the new
+    /// tenant's placement.
     pub fn placement_of(&self, h: VmHandle) -> Option<ServerHandle> {
+        self.state.vm_ref(h).ok()?;
         self.state.placement.get(h.index()).copied().flatten()
     }
 
@@ -605,6 +611,9 @@ impl DataCenter {
                 "memory overflow on server {s}: {used} + {vm_mem} > {}",
                 self.state.servers[s].spec.memory_mib
             )));
+        }
+        if matches!(self.state.servers[s].state, ServerState::Failed) {
+            return Err(DcError::ServerFailed(s));
         }
         if !self.state.servers[s].is_active() {
             self.wake_server(server)?;
@@ -707,9 +716,13 @@ impl DataCenter {
     }
 
     /// Wake a sleeping server (to its maximum frequency; the next DVFS pass
-    /// throttles it down).
+    /// throttles it down). A [`ServerState::Failed`] server cannot be woken
+    /// — it must first be repaired via [`DataCenter::recover_server`].
     pub fn wake_server(&mut self, server: ServerHandle) -> Result<()> {
         let s = self.state.server_slot(server)?;
+        if matches!(self.state.servers[s].state, ServerState::Failed) {
+            return Err(DcError::ServerFailed(s));
+        }
         if !self.state.servers[s].is_active() {
             let spec = &self.state.servers[s].spec;
             let wake_wh = spec.power.static_watts * spec.wake_latency_s / 3600.0;
@@ -719,6 +732,43 @@ impl DataCenter {
             self.wake_count += 1;
         }
         Ok(())
+    }
+
+    /// Crash a host: every hosted VM is unplaced (the evacuee handles are
+    /// returned in placement order so the caller can re-place them) and the
+    /// server enters [`ServerState::Failed`], where it draws no power,
+    /// offers no capacity, and rejects wake/placement until
+    /// [`DataCenter::recover_server`]. Failing an already-failed server is
+    /// a no-op returning no evacuees.
+    pub fn fail_server(&mut self, server: ServerHandle) -> Result<Vec<VmHandle>> {
+        let s = self.state.server_slot(server)?;
+        if matches!(self.state.servers[s].state, ServerState::Failed) {
+            return Ok(Vec::new());
+        }
+        let st = self.state_mut();
+        let evacuees = std::mem::take(&mut st.hosted[s]);
+        for h in &evacuees {
+            st.placement[h.index()] = None;
+        }
+        st.servers[s].state = ServerState::Failed;
+        Ok(evacuees)
+    }
+
+    /// Repair a failed host: it returns to [`ServerState::Sleeping`] (empty,
+    /// wakeable again — no wake energy is charged until something wakes it).
+    /// A no-op for servers that are not failed.
+    pub fn recover_server(&mut self, server: ServerHandle) -> Result<()> {
+        let s = self.state.server_slot(server)?;
+        if matches!(self.state.servers[s].state, ServerState::Failed) {
+            self.state_mut().servers[s].state = ServerState::Sleeping;
+        }
+        Ok(())
+    }
+
+    /// Whether a server is currently in the [`ServerState::Failed`] state.
+    pub fn is_failed(&self, server: ServerHandle) -> Result<bool> {
+        let s = self.state.server_slot(server)?;
+        Ok(matches!(self.state.servers[s].state, ServerState::Failed))
     }
 
     /// Number of wake transitions so far.
@@ -1196,6 +1246,94 @@ mod arena_tests {
         let snap = dc.snapshot();
         let snap_labels: Vec<u64> = snap.vm_handles().map(|(id, _)| id.0).collect();
         assert_eq!(snap_labels, labels);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::server::ServerSpec;
+
+    fn srv(i: usize) -> ServerHandle {
+        ServerHandle::from_index(i)
+    }
+
+    #[test]
+    fn failing_a_host_evacuates_and_rejects_wake_and_placement() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        let a = dc.add_vm(VmSpec::new(1, 1.0, 512.0)).unwrap();
+        let b = dc.add_vm(VmSpec::new(2, 1.5, 512.0)).unwrap();
+        dc.place_vm(a, srv(0)).unwrap();
+        dc.place_vm(b, srv(0)).unwrap();
+        let evacuees = dc.fail_server(srv(0)).unwrap();
+        assert_eq!(evacuees, vec![a, b], "placement order preserved");
+        assert!(dc.is_failed(srv(0)).unwrap());
+        assert_eq!(dc.placement_of(a), None);
+        assert_eq!(dc.placement_of(b), None);
+        assert!(dc.hosted_vms(srv(0)).unwrap().is_empty());
+        // A failed host draws no power and offers no capacity.
+        assert_eq!(dc.server_power_watts(srv(0)).unwrap(), 0.0);
+        assert_eq!(dc.server(srv(0)).unwrap().capacity_ghz(), 0.0);
+        assert!(!dc.server(srv(0)).unwrap().is_active());
+        // It rejects wake and placement until recovered.
+        assert_eq!(
+            dc.wake_server(srv(0)).unwrap_err(),
+            DcError::ServerFailed(0)
+        );
+        assert_eq!(
+            dc.place_vm(a, srv(0)).unwrap_err(),
+            DcError::ServerFailed(0)
+        );
+        // Failing again is a no-op with no evacuees.
+        assert!(dc.fail_server(srv(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn recovery_returns_the_host_to_the_sleeping_pool() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_dual_2ghz()));
+        dc.fail_server(srv(0)).unwrap();
+        let wake_wh_before = dc.wake_energy_wh();
+        dc.recover_server(srv(0)).unwrap();
+        assert!(!dc.is_failed(srv(0)).unwrap());
+        assert_eq!(dc.server(srv(0)).unwrap().state, ServerState::Sleeping);
+        assert_eq!(
+            dc.wake_energy_wh(),
+            wake_wh_before,
+            "recovery is not a wake"
+        );
+        // Recovering a healthy server is a no-op.
+        dc.recover_server(srv(0)).unwrap();
+        assert_eq!(dc.server(srv(0)).unwrap().state, ServerState::Sleeping);
+        // The recovered host is wakeable and placeable again.
+        let h = dc.add_vm(VmSpec::new(1, 1.0, 512.0)).unwrap();
+        dc.place_vm(h, srv(0)).unwrap();
+        assert!(dc.server(srv(0)).unwrap().is_active());
+    }
+
+    #[test]
+    fn dvfs_pass_holds_failed_servers() {
+        let mut dc = DataCenter::new();
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        dc.add_server(Server::active(ServerSpec::type_quad_3ghz()));
+        let h = dc.add_vm(VmSpec::new(1, 2.0, 512.0)).unwrap();
+        dc.place_vm(h, srv(1)).unwrap();
+        dc.fail_server(srv(0)).unwrap();
+        assert_eq!(
+            dc.dvfs_decision(srv(0), true).unwrap(),
+            DvfsDecision::Hold,
+            "failed servers are held, never slept or retuned"
+        );
+        dc.apply_dvfs(true).unwrap();
+        assert!(
+            dc.is_failed(srv(0)).unwrap(),
+            "DVFS pass leaves failure intact"
+        );
+        // Migration into a failed host rolls back cleanly.
+        let err = dc.migrate_vm(h, srv(0)).unwrap_err();
+        assert_eq!(err, DcError::ServerFailed(0));
+        assert_eq!(dc.placement_of(h), Some(srv(1)));
     }
 }
 

@@ -53,6 +53,12 @@ pub enum DcError {
     BadPlacement(String),
     /// Capacity or configuration violation.
     Invalid(String),
+    /// Targeted a server that is in the [`ServerState::Failed`] state
+    /// (wake, placement, or DVFS against a crashed host).
+    ServerFailed(usize),
+    /// A VM evacuated from a failed host could not be re-placed anywhere
+    /// (active capacity and the sleeping pool are both exhausted).
+    Stranded(u64),
 }
 
 impl std::fmt::Display for DcError {
@@ -63,6 +69,8 @@ impl std::fmt::Display for DcError {
             DcError::StaleHandle(slot) => write!(f, "stale VM handle for slot {slot}"),
             DcError::BadPlacement(s) => write!(f, "bad placement: {s}"),
             DcError::Invalid(s) => write!(f, "invalid: {s}"),
+            DcError::ServerFailed(id) => write!(f, "server {id} has failed"),
+            DcError::Stranded(id) => write!(f, "VM {id} stranded: no capacity after evacuation"),
         }
     }
 }

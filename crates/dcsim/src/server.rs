@@ -158,6 +158,10 @@ pub enum ServerState {
     },
     /// Sleeping (suspend-to-RAM).
     Sleeping,
+    /// Crashed. A failed host draws no power, offers no capacity, and
+    /// cannot be woken or receive placements until
+    /// [`crate::DataCenter::recover_server`] returns it to [`Sleeping`].
+    Failed,
 }
 
 /// A server instance: spec + runtime state.
@@ -193,11 +197,11 @@ impl Server {
         matches!(self.state, ServerState::Active { .. })
     }
 
-    /// Current total capacity (GHz); 0 when sleeping.
+    /// Current total capacity (GHz); 0 when sleeping or failed.
     pub fn capacity_ghz(&self) -> f64 {
         match self.state {
             ServerState::Active { freq_ghz } => self.spec.capacity_at(freq_ghz),
-            ServerState::Sleeping => 0.0,
+            ServerState::Sleeping | ServerState::Failed => 0.0,
         }
     }
 
@@ -206,6 +210,7 @@ impl Server {
     pub fn power_watts(&self, demand_ghz: f64) -> f64 {
         match self.state {
             ServerState::Sleeping => self.spec.power.sleep_power(),
+            ServerState::Failed => 0.0,
             ServerState::Active { freq_ghz } => {
                 let cap = self.spec.capacity_at(freq_ghz);
                 let u = if cap > 0.0 { demand_ghz / cap } else { 0.0 };

@@ -11,7 +11,7 @@
 //! Failures replay with `VDC_CHECK_SEED`.
 
 use vdc_check::{check, from_fn, prop_assert, prop_assert_eq, Gen, TestRng};
-use vdc_dcsim::{DataCenter, DcError, VmId, VmSpec};
+use vdc_dcsim::{DataCenter, DcError, Server, ServerHandle, ServerSpec, VmId, VmSpec};
 
 const CASES: u32 = 48;
 
@@ -109,6 +109,195 @@ fn free_list_never_resurrects_and_never_grows_past_high_water() {
         // Live handles still resolve to their own specs at the end.
         for (&id, &handle) in &live {
             prop_assert_eq!(dc.vm(handle).expect("live handle resolves").id, id);
+        }
+        Ok(())
+    });
+}
+
+/// One fault-script op over a small placed fleet.
+#[derive(Debug, Clone)]
+enum FaultOp {
+    /// Register `VmId(label)` and place it on the first willing host.
+    Add(u64),
+    /// Remove a pseudo-randomly chosen live VM (the value picks which).
+    Remove(u64),
+    /// Crash the given server, evacuating its tenants.
+    Crash(usize),
+    /// Repair the given server (no-op unless failed).
+    Recover(usize),
+}
+
+#[derive(Debug, Clone)]
+struct FaultScript {
+    ops: Vec<FaultOp>,
+}
+
+const N_SERVERS: usize = 4;
+
+fn fault_script() -> impl Gen<Value = FaultScript> {
+    from_fn(|rng: &mut TestRng| {
+        let n_ops = rng.usize_in(1, 80);
+        let ops = (0..n_ops)
+            .map(|_| match rng.usize_in(0, 9) {
+                0..=3 => FaultOp::Add(rng.u64_in(0, 10)),
+                4 | 5 => FaultOp::Remove(rng.u64_in(0, 1 << 20)),
+                6 | 7 => FaultOp::Crash(rng.usize_in(0, N_SERVERS - 1)),
+                _ => FaultOp::Recover(rng.usize_in(0, N_SERVERS - 1)),
+            })
+            .collect();
+        FaultScript { ops }
+    })
+}
+
+/// Crash/evacuate/recover interleaved with VM churn: under arbitrary fault
+/// scripts,
+///
+/// 1. every evacuation is exactly-once — `fail_server` returns precisely
+///    the VMs the model says were hosted there, and each evacuee ends up
+///    either re-placed on a healthy host or counted stranded (unplaced),
+///    never duplicated and never lost;
+/// 2. failed hosts reject placements with `DcError::ServerFailed` until
+///    repaired, and repairing makes them placeable again;
+/// 3. no stale handle is ever resurrected, and label-index iteration stays
+///    strictly ascending, exactly as in the churn-only property above.
+#[test]
+fn crash_recover_scripts_never_lose_or_duplicate_vms() {
+    check(CASES, &fault_script(), |s| {
+        let mut dc = DataCenter::new();
+        let servers: Vec<ServerHandle> = (0..N_SERVERS)
+            .map(|_| dc.add_server(Server::active(ServerSpec::type_quad_3ghz())))
+            .collect();
+        // Model state: live VMs, where each is placed (None = stranded),
+        // and every handle ever invalidated by removal.
+        let mut live = std::collections::BTreeMap::new();
+        let mut placed_on: std::collections::BTreeMap<VmId, Option<usize>> =
+            std::collections::BTreeMap::new();
+        let mut failed = [false; N_SERVERS];
+        let mut dead_handles: Vec<vdc_dcsim::VmHandle> = Vec::new();
+
+        // Re-place one unplaced VM on the first healthy host with memory
+        // room; returns its new host, or None (stranded).
+        fn replace(
+            dc: &mut DataCenter,
+            servers: &[ServerHandle],
+            failed: &[bool; N_SERVERS],
+            h: vdc_dcsim::VmHandle,
+        ) -> Option<usize> {
+            for (i, &srv) in servers.iter().enumerate() {
+                if failed[i] {
+                    continue;
+                }
+                if dc.place_vm(h, srv).is_ok() {
+                    return Some(i);
+                }
+            }
+            None
+        }
+
+        for op in &s.ops {
+            match *op {
+                FaultOp::Add(label) => {
+                    let id = VmId(label);
+                    if let Ok(handle) = dc.add_vm(VmSpec::new(id.0, 0.5, 1024.0)) {
+                        let host = replace(&mut dc, &servers, &failed, handle);
+                        live.insert(id, handle);
+                        placed_on.insert(id, host);
+                    }
+                }
+                FaultOp::Remove(pick) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let idx = pick as usize % live.len();
+                    let id = *live.keys().nth(idx).expect("pick in range");
+                    let handle = live.remove(&id).expect("tracked live VM");
+                    placed_on.remove(&id);
+                    let spec = dc.remove_vm(handle).expect("live handle removes cleanly");
+                    prop_assert_eq!(spec.id, id, "removed the VM the handle named");
+                    dead_handles.push(handle);
+                }
+                FaultOp::Crash(srv) => {
+                    let evacuees = dc.fail_server(servers[srv]).expect("valid server handle");
+                    // Exactly-once: the evacuee label set is precisely the
+                    // model's set of VMs placed on this host (empty when
+                    // the host was already failed).
+                    let mut got: Vec<VmId> = evacuees
+                        .iter()
+                        .map(|&h| dc.vm(h).expect("evacuee is live").id)
+                        .collect();
+                    got.sort();
+                    let mut expected: Vec<VmId> = placed_on
+                        .iter()
+                        .filter(|&(_, &host)| !failed[srv] && host == Some(srv))
+                        .map(|(&id, _)| id)
+                        .collect();
+                    expected.sort();
+                    prop_assert_eq!(&got, &expected, "evacuation set mismatch on crash");
+                    failed[srv] = true;
+                    prop_assert!(dc.is_failed(servers[srv]).expect("valid handle"));
+                    // A crashed host rejects new placements outright.
+                    if let Some((&id, _)) = live.iter().next() {
+                        if placed_on[&id].is_none() {
+                            prop_assert_eq!(
+                                dc.place_vm(live[&id], servers[srv]).unwrap_err(),
+                                DcError::ServerFailed(srv),
+                                "failed host accepted a placement"
+                            );
+                        }
+                    }
+                    // Each evacuee is re-placed once or counted stranded.
+                    for &h in &evacuees {
+                        let id = dc.vm(h).expect("evacuee is live").id;
+                        let host = replace(&mut dc, &servers, &failed, h);
+                        placed_on.insert(id, host);
+                    }
+                }
+                FaultOp::Recover(srv) => {
+                    dc.recover_server(servers[srv]).expect("valid handle");
+                    prop_assert!(!dc.is_failed(servers[srv]).expect("valid handle"));
+                    failed[srv] = false;
+                    // The repaired host rejoins the pool: stranded VMs are
+                    // retried, in ascending label order, exactly once each.
+                    let stranded: Vec<VmId> = placed_on
+                        .iter()
+                        .filter(|&(_, &host)| host.is_none())
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for id in stranded {
+                        let host = replace(&mut dc, &servers, &failed, live[&id]);
+                        placed_on.insert(id, host);
+                    }
+                }
+            }
+            // Placements agree with the model, and no live VM sits on a
+            // failed host.
+            for (&id, &handle) in &live {
+                let actual = dc.placement_of(handle).map(|s| s.index());
+                prop_assert_eq!(actual, placed_on[&id], "placement diverged for {:?}", id);
+                if let Some(host) = actual {
+                    prop_assert!(!failed[host], "VM {:?} left on failed host {}", id, host);
+                }
+            }
+            // Dead handles stay dead through crash/recover cycles.
+            for dead in &dead_handles {
+                prop_assert_eq!(
+                    dc.vm(*dead).unwrap_err(),
+                    DcError::StaleHandle(dead.index()),
+                    "stale handle {:?} resurrected",
+                    dead
+                );
+                prop_assert_eq!(dc.placement_of(*dead), None);
+            }
+            // Label iteration stays strictly ascending and in sync.
+            let order: Vec<VmId> = dc.vm_handles().map(|(id, _)| id).collect();
+            prop_assert!(
+                order.windows(2).all(|w| w[0] < w[1]),
+                "label iteration not strictly ascending: {:?}",
+                order
+            );
+            let reference: Vec<VmId> = live.keys().copied().collect();
+            prop_assert_eq!(&order, &reference, "live set diverged");
+            prop_assert_eq!(dc.n_vms(), live.len());
         }
         Ok(())
     });

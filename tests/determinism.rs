@@ -9,7 +9,7 @@
 //! build) a hard failure.
 
 use vdc_core::cosim::{run_cosim, CosimConfig, CosimResult};
-use vdc_core::RunOptions;
+use vdc_core::{FaultPlan, RunOptions};
 use vdc_telemetry::Telemetry;
 use vdc_trace::{generate_trace, TraceConfig};
 
@@ -105,6 +105,48 @@ fn telemetry_does_not_perturb_the_simulation() {
     assert_eq!(get("cosim.samples"), 24);
     assert!(get("mpc.steps") > 0, "MPC steps not recorded");
     assert!(!telemetry.slo_snapshot().is_empty(), "no SLO accounting");
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_a_plain_run() {
+    // Attaching a `FaultPlan` with no scheduled events must be a no-op all
+    // the way down: the single `RunOptions::faults()` gate filters empty
+    // plans, so none of the fault machinery (host events, fallible plan
+    // application, safe mode, watchdog) may run, and every f64 of the
+    // trajectories stays bit-identical to a run with no plan attached.
+    let plain = small_run(0xD5EED);
+    let trace = generate_trace(&TraceConfig {
+        n_vms: 12,
+        n_samples: 24,
+        interval_s: 900.0,
+        seed: 0xD5EED ^ 0x7ACE,
+    });
+    let cfg = CosimConfig {
+        n_apps: 6,
+        control_periods_per_sample: 2,
+        optimizer_period_samples: 8,
+        seed: 0xD5EED,
+        ..Default::default()
+    };
+    let plan = FaultPlan::empty();
+    let faulted =
+        run_cosim(&trace, &cfg, &RunOptions::default().with_faults(&plan)).expect("empty-plan run");
+    assert_eq!(
+        bits(&plain.power_series_w),
+        bits(&faulted.power_series_w),
+        "empty fault plan perturbed the power trajectory"
+    );
+    assert_eq!(
+        bits(&plain.response_series_ms),
+        bits(&faulted.response_series_ms),
+        "empty fault plan perturbed the response-time trajectory"
+    );
+    assert_eq!(
+        plain.total_energy_wh.to_bits(),
+        faulted.total_energy_wh.to_bits()
+    );
+    assert_eq!(plain.migrations, faulted.migrations);
+    assert_eq!(plain.final_placements, faulted.final_placements);
 }
 
 #[test]

@@ -18,7 +18,7 @@ use vdc_churn::{AdmissionPolicy, ChurnConfig, ChurnWorkload};
 use vdc_core::churn::{run_churn, ChurnResult};
 use vdc_core::cosim::{run_cosim, CosimConfig, CosimResult};
 use vdc_core::largescale::{run_large_scale, LargeScaleConfig, LargeScaleResult, OptimizerKind};
-use vdc_core::RunOptions;
+use vdc_core::{FaultConfig, FaultPlan, RunOptions};
 use vdc_dcsim::FleetSpec;
 use vdc_telemetry::Telemetry;
 use vdc_trace::{generate_trace, TraceConfig, UtilizationTrace};
@@ -302,6 +302,81 @@ fn flash_crowd_churn_is_bit_identical_across_shard_counts() {
             baseline.live_churn_vms, r.live_churn_vms,
             "{ctx}: live churn VMs"
         );
+        assert_eq!(
+            base_state,
+            telemetry_state(&tel),
+            "{ctx}: telemetry counters diverged"
+        );
+    }
+}
+
+fn faulted_churn_at(
+    trace: &UtilizationTrace,
+    plan: &FaultPlan,
+    shards: usize,
+) -> (ChurnResult, Vec<u64>, Telemetry) {
+    let wl_cfg = ChurnConfig {
+        mean_lifetime_s: 3_600.0,
+        ..ChurnConfig::with_flash_crowd(80.0, 24, 25, 0xF1A5)
+    };
+    let workload = ChurnWorkload::generate(&wl_cfg, trace.n_samples(), trace.interval_s());
+    let cfg = LargeScaleConfig::new(40, OptimizerKind::Ipac);
+    let telemetry = Telemetry::enabled();
+    let opts = RunOptions::default()
+        .with_telemetry(&telemetry)
+        .with_shards(shards)
+        .with_series()
+        .with_faults(plan);
+    let result = run_churn(trace, &cfg, &workload, AdmissionPolicy::WakeAndRetry, &opts)
+        .expect("faulted churn replay runs");
+    let series_bits = result
+        .base
+        .series
+        .iter()
+        .map(|s| s.power_w.to_bits())
+        .collect();
+    (result, series_bits, telemetry)
+}
+
+/// Fault injection must not perturb shard equivalence: a crash storm with
+/// flaky migrations and wakes layered over the flash-crowd churn scenario
+/// — evacuations, retries with backoff, stranded accounting, watchdog
+/// relief — stays bit-identical at every shard count. This holds because
+/// every fault draw is a pure function of the plan and the attempt
+/// ordinal, never of shard-local state.
+#[test]
+fn crash_storm_churn_is_bit_identical_across_shard_counts() {
+    let trace = generate_trace(&TraceConfig {
+        n_vms: 40,
+        n_samples: 48,
+        interval_s: 900.0,
+        seed: 0xC4B2,
+    });
+    let fault_cfg = FaultConfig {
+        migration_failure_prob: 0.2,
+        migration_backoff_budget: 3,
+        wake_failure_prob: 0.2,
+        ..FaultConfig::crash_storm(8.0 * 3_600.0, 1_800.0, 0xFA11)
+    };
+    let plan = FaultPlan::generate(&fault_cfg, trace.n_samples(), trace.interval_s(), 40, 0);
+    assert!(!plan.is_empty(), "scenario must schedule faults");
+    let (baseline, base_series, base_tel) = faulted_churn_at(&trace, &plan, 1);
+    let base_state = telemetry_state(&base_tel);
+    let crashes = base_state
+        .0
+        .iter()
+        .find(|(n, _)| n == "fault.crashes")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(crashes > 0, "scenario must crash hosts");
+    for shards in SHARD_COUNTS {
+        let (r, series, tel) = faulted_churn_at(&trace, &plan, shards);
+        let ctx = format!("faulted churn shards={shards}");
+        assert_largescale_identical(&baseline.base, &r.base, &ctx);
+        assert_eq!(base_series, series, "{ctx}: power series diverged");
+        assert_eq!(baseline.admitted, r.admitted, "{ctx}: admitted");
+        assert_eq!(baseline.rejections, r.rejections, "{ctx}: rejections");
+        assert_eq!(baseline.wake_retries, r.wake_retries, "{ctx}: wake retries");
         assert_eq!(
             base_state,
             telemetry_state(&tel),
