@@ -80,6 +80,11 @@ mkdir -p "$scratch"
 (cd "$scratch" && ../release/week_profile -q >/dev/null)
 (cd "$scratch" && ../release/churn -q >/dev/null)
 (cd "$scratch" && ../release/faults --apps 8 --samples 48 -q >/dev/null)
+# Megafleet smoke tier: streaming trace + hierarchical pods. --max-rss-mib
+# asserts the constant-memory claim inside the bin (exit 1 on breach); the
+# gate then diffs the deterministic counters and the bench record shape.
+(cd "$scratch" && ../release/megafleet --servers 2000 --vms 20000 --samples 48 \
+    --max-rss-mib 64 -q >/dev/null)
 run ./target/release/results_gate --baseline results --fresh "$scratch/results"
 
 echo "==> ci.sh: all gates passed"

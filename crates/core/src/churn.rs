@@ -111,7 +111,8 @@ pub fn run_churn(
     telemetry.gauge_set("churn.queue_depth", 0.0);
     let shards = crate::shard::resolve(opts.shards_or(cfg.shards));
     let mut ctx = ChurnCtx::new(workload, policy, cfg.n_vms, shards);
-    let base = run_large_scale_impl(trace, cfg, opts, &telemetry, Some(&mut ctx))?;
+    let mut source = trace;
+    let base = run_large_scale_impl(&mut source, cfg, opts, &telemetry, Some(&mut ctx))?;
     telemetry.gauge_set("churn.live_vms", ctx.live.len() as f64);
     Ok(ChurnResult {
         base,

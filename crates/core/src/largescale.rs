@@ -20,7 +20,7 @@ use vdc_consolidate::view::{apply_plan, apply_plan_fallible, ApplyStats};
 use vdc_dcsim::{DataCenter, FleetSpec, Server, ServerHandle, ServerSpec, VmHandle, VmSpec};
 use vdc_faults::{FaultSession, HostFaultKind};
 use vdc_telemetry::Telemetry;
-use vdc_trace::UtilizationTrace;
+use vdc_trace::{DemandSource, StreamingTrace, UtilizationTrace};
 
 /// Which optimizer drives the large-scale run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,8 +162,9 @@ fn build_fleet_from_spec(spec: &FleetSpec, seed: u64) -> Result<DataCenter> {
 /// The per-sample aggregate demand is a pure function of the trace, so the
 /// scan over samples fans out across shards; each sample's inner sum stays
 /// a sequential VM-order fold and the max-reduction runs on the caller in
-/// sample order — bit-identical for every shard count.
-fn auto_servers(trace: &UtilizationTrace, n_vms: usize, shards: usize) -> usize {
+/// sample order — bit-identical for every shard count. Requires a
+/// random-access source (the caller rejects streaming sources up front).
+fn auto_servers<S: DemandSource + Sync>(trace: &S, n_vms: usize, shards: usize) -> usize {
     // Peak aggregate demand across the trace.
     let totals = crate::shard::map_indices(trace.n_samples(), shards, |t| {
         (0..n_vms).map(|vm| trace.demand_ghz(vm, t)).sum::<f64>()
@@ -206,25 +207,47 @@ pub fn run_large_scale(
     opts: &RunOptions<'_>,
 ) -> Result<LargeScaleResult> {
     let telemetry = opts.telemetry();
-    run_large_scale_impl(trace, cfg, opts, &telemetry, None)
+    let mut source = trace;
+    run_large_scale_impl(&mut source, cfg, opts, &telemetry, None)
 }
 
-/// The shared replay loop under both [`run_large_scale`] (no lifecycle
-/// events, `churn: None`) and [`crate::run_churn`]. Every churn hook is
-/// behind the `Option`, so the fixed-population path is byte-identical to
-/// the pre-churn loop.
-pub(crate) fn run_large_scale_impl(
-    trace: &UtilizationTrace,
+/// Run the large-scale simulation against a constant-memory streaming
+/// trace ([`StreamingTrace`]) — the megafleet path, where a materialized
+/// week (`n_vms × n_samples` f64s) would not fit in memory.
+///
+/// Bit-identical to [`run_large_scale`] on the trace
+/// [`StreamingTrace::materialize`] yields for the same
+/// [`vdc_trace::TraceConfig`] (the determinism suite pins this). The
+/// streaming source cannot be scanned ahead of time, so the fleet must be
+/// sized explicitly: `cfg.n_servers` or `cfg.fleet` is required.
+pub fn run_large_scale_streaming(
+    stream: &mut StreamingTrace,
+    cfg: &LargeScaleConfig,
+    opts: &RunOptions<'_>,
+) -> Result<LargeScaleResult> {
+    let telemetry = opts.telemetry();
+    run_large_scale_impl(stream, cfg, opts, &telemetry, None)
+}
+
+/// The shared replay loop under [`run_large_scale`] (no lifecycle events,
+/// `churn: None`), [`run_large_scale_streaming`], and [`crate::run_churn`].
+/// Every churn hook is behind the `Option`, so the fixed-population path is
+/// byte-identical to the pre-churn loop. Generic over the demand source:
+/// the loop only ever reads sample `t` after `advance_to(t)`, in
+/// monotonically increasing order, which is exactly the contract a
+/// streaming source can honor.
+pub(crate) fn run_large_scale_impl<S: DemandSource + Sync>(
+    source: &mut S,
     cfg: &LargeScaleConfig,
     opts: &RunOptions<'_>,
     telemetry: &Telemetry,
     mut churn: Option<&mut crate::churn::ChurnCtx<'_>>,
 ) -> Result<LargeScaleResult> {
-    if cfg.n_vms == 0 || cfg.n_vms > trace.n_vms() {
+    if cfg.n_vms == 0 || cfg.n_vms > source.n_vms() {
         return Err(CoreError::BadConfig(format!(
             "n_vms {} outside trace size {}",
             cfg.n_vms,
-            trace.n_vms()
+            source.n_vms()
         )));
     }
     if cfg.optimizer_period_samples == 0 {
@@ -232,13 +255,23 @@ pub(crate) fn run_large_scale_impl(
             "optimizer period must be at least one sample".into(),
         ));
     }
+    let n_samples = source.n_samples();
+    let interval_s = source.interval_s();
     let shards = crate::shard::resolve(opts.shards_or(cfg.shards));
     let mut dc = match &cfg.fleet {
         Some(spec) => build_fleet_from_spec(spec, cfg.seed)?,
         None => {
-            let n_servers = cfg
-                .n_servers
-                .unwrap_or_else(|| auto_servers(trace, cfg.n_vms, shards));
+            let n_servers = match cfg.n_servers {
+                Some(n) => n,
+                None if source.random_access() => auto_servers(&*source, cfg.n_vms, shards),
+                None => {
+                    return Err(CoreError::BadConfig(
+                        "auto-sizing scans every sample up front; a streaming trace \
+                         requires an explicit n_servers or fleet spec"
+                            .into(),
+                    ))
+                }
+            };
             build_fleet(n_servers, cfg.seed)
         }
     };
@@ -246,10 +279,11 @@ pub(crate) fn run_large_scale_impl(
     // Register the VMs with their t = 0 demands. Registration order makes
     // arena slot i the trace row i, which is what lets the per-sample
     // demand update below write the demand table by slot index.
+    source.advance_to(0);
     let mut initial_items = Vec::with_capacity(cfg.n_vms);
     for vm in 0..cfg.n_vms {
-        let demand = trace.demand_ghz(vm, 0);
-        let mem = trace.meta(vm).memory_mib;
+        let demand = source.demand_ghz(vm, 0);
+        let mem = source.meta(vm).memory_mib;
         let spec = VmSpec::new(vm as u64, demand, mem);
         let id = spec.id;
         let handle = dc.add_vm(spec)?;
@@ -269,6 +303,7 @@ pub(crate) fn run_large_scale_impl(
     let _ = Algorithm::Ipac; // (re-exported for callers)
     optimizer.set_telemetry(telemetry.clone());
     optimizer.set_shards(shards);
+    optimizer.set_pods(opts.pods);
 
     // Fault session. Everything fault-related below is behind this one
     // `Option`: `RunOptions::faults()` normalizes empty plans to `None`,
@@ -284,7 +319,7 @@ pub(crate) fn run_large_scale_impl(
     optimize_step(&mut optimizer, &mut dc, &initial_items, &mut faults)?;
 
     let mut series = if opts.capture_series {
-        Vec::with_capacity(trace.n_samples())
+        Vec::with_capacity(n_samples)
     } else {
         Vec::new()
     };
@@ -298,8 +333,12 @@ pub(crate) fn run_large_scale_impl(
     let mut demand_unmet = 0.0_f64;
     let relief_constraint = AndConstraint::cpu_and_memory();
     let relief_cfg = ReliefConfig::default();
-    for t in 0..trace.n_samples() {
+    for t in 0..n_samples {
         let sample_span = telemetry.timer("largescale.sample_ns");
+        // Advance the demand source to this sample (no-op for materialized
+        // traces; one generator step for streaming sources).
+        source.advance_to(t);
+        let src: &S = source;
         // Advance each site's PUE to this sample *before* any consolidation
         // decision, so the optimizer's efficiency ordering sees the same
         // facility cost the power fold below charges. A no-op (and no
@@ -314,7 +353,7 @@ pub(crate) fn run_large_scale_impl(
         // `.max(0.0)` clamp matches `set_vm_demand`.
         let demand_span = telemetry.timer("largescale.demand_ns");
         crate::shard::map_slice_mut(&mut dc.demands_mut()[..cfg.n_vms], shards, |vm, d| {
-            *d = trace.demand_ghz(vm, t).max(0.0);
+            *d = src.demand_ghz(vm, t).max(0.0);
         });
         if let Some(ctx) = churn.as_deref() {
             // Churn slots (arena region past the base population): live
@@ -406,14 +445,14 @@ pub(crate) fn run_large_scale_impl(
             sample_demand += demand;
             sample_unmet += (demand - cap).max(0.0);
         }
-        total += watts * trace.interval_s() / 3600.0;
+        total += watts * interval_s / 3600.0;
         for (site, w) in site_watts.iter().enumerate() {
-            site_energy_wh[site] += w * trace.interval_s() / 3600.0;
+            site_energy_wh[site] += w * interval_s / 3600.0;
         }
         telemetry.incr("largescale.samples", 1);
         if opts.capture_series {
             series.push(WeekSample {
-                t_s: t as f64 * trace.interval_s(),
+                t_s: t as f64 * interval_s,
                 power_w: watts,
                 active_servers: active.len(),
                 migrations_so_far: optimizer.total_migrations() + relief_migrations,
@@ -497,7 +536,7 @@ pub(crate) fn run_large_scale_impl(
         total_energy_wh: total,
         energy_per_vm_wh: total / cfg.n_vms as f64,
         migrations: optimizer.total_migrations() + relief_migrations,
-        mean_active_servers: active_sum as f64 / trace.n_samples() as f64,
+        mean_active_servers: active_sum as f64 / n_samples as f64,
         peak_active_servers: peak_active,
         optimizer_invocations: optimizer.invocations(),
         relief_migrations,
@@ -870,6 +909,66 @@ mod tests {
         cfg.shards = 64;
         let sharded = run_large_scale(&t, &cfg).unwrap();
         assert_results_bit_identical(&single, &sharded, "1 VM, 64 shards");
+    }
+
+    #[test]
+    fn streaming_run_matches_materialized_run() {
+        let tc = TraceConfig {
+            n_vms: 30,
+            n_samples: 48,
+            interval_s: 900.0,
+            seed: 7,
+        };
+        let trace = StreamingTrace::materialize(&tc);
+        let mut stream = StreamingTrace::new(&tc);
+        let cfg = LargeScaleConfig {
+            n_servers: Some(24),
+            ..LargeScaleConfig::new(30, OptimizerKind::Ipac)
+        };
+        let opts = RunOptions::default().with_series();
+        let a = super::run_large_scale(&trace, &cfg, &opts).unwrap();
+        let b = super::run_large_scale_streaming(&mut stream, &cfg, &opts).unwrap();
+        assert_results_bit_identical(&a, &b, "streaming vs materialized");
+        assert_eq!(a.series.len(), b.series.len());
+        for (x, y) in a.series.iter().zip(&b.series) {
+            assert_eq!(x.power_w.to_bits(), y.power_w.to_bits());
+        }
+    }
+
+    #[test]
+    fn streaming_auto_sizing_is_rejected() {
+        // Auto-sizing scans the full horizon up front, which a streaming
+        // source cannot do — the run must fail loudly, not silently fall
+        // back to something else.
+        let tc = TraceConfig {
+            n_vms: 10,
+            n_samples: 8,
+            interval_s: 900.0,
+            seed: 3,
+        };
+        let mut stream = StreamingTrace::new(&tc);
+        let cfg = LargeScaleConfig::new(10, OptimizerKind::Ipac);
+        assert!(cfg.n_servers.is_none() && cfg.fleet.is_none());
+        let err = super::run_large_scale_streaming(&mut stream, &cfg, &RunOptions::default());
+        assert!(matches!(err, Err(CoreError::BadConfig(_))), "{err:?}");
+    }
+
+    #[test]
+    fn hierarchical_run_matches_itself_and_differs_from_flat_metadata() {
+        // End-to-end seam check: `with_pods` flows from RunOptions into the
+        // optimizer, the run completes, and the same options reproduce the
+        // same bits.
+        let t = small_trace();
+        let cfg = LargeScaleConfig {
+            n_servers: Some(24),
+            ..LargeScaleConfig::new(40, OptimizerKind::Ipac)
+        };
+        let opts = RunOptions::default().with_pods(8);
+        let a = super::run_large_scale(&t, &cfg, &opts).unwrap();
+        let b = super::run_large_scale(&t, &cfg, &opts).unwrap();
+        assert_results_bit_identical(&a, &b, "hierarchical repeat");
+        assert!(a.total_energy_wh > 0.0);
+        assert_eq!(a.final_placements.len(), 40);
     }
 
     #[test]

@@ -42,8 +42,10 @@ pub use churn::{run_churn, ChurnResult};
 pub use controller::{IdentificationConfig, ResponseTimeController};
 pub use cosim::{run_cosim, CosimConfig, CosimResult};
 pub use experiments::Fig6Config;
-pub use largescale::{run_large_scale, LargeScaleConfig, LargeScaleResult, OptimizerKind};
-pub use optimizer::{OptimizerConfig, PowerOptimizer};
+pub use largescale::{
+    run_large_scale, run_large_scale_streaming, LargeScaleConfig, LargeScaleResult, OptimizerKind,
+};
+pub use optimizer::{pod_partition, OptimizerConfig, PowerOptimizer};
 pub use run::RunOptions;
 pub use testbed::{Testbed, TestbedConfig};
 pub use vdc_faults::{FaultConfig, FaultPlan, FaultSession};

@@ -55,6 +55,14 @@ pub struct RunOptions<'a> {
     /// to a plain run (the zero-fault contract `tests/determinism.rs`
     /// enforces). Faulted runs stay bit-identical at every shard count.
     pub faults: Option<&'a FaultPlan>,
+    /// Hierarchical pod size for the optimizer: `Some(n)` partitions the
+    /// fleet into site-aligned pods of at most `n` servers and plans each
+    /// pod independently (see [`crate::optimizer::pod_partition`]). `None`
+    /// (default) plans the whole fleet flat. Unlike the other axes this
+    /// *does* change placement decisions — the regret harness
+    /// (`tests/regret.rs`) bounds the power cost — but a given pod size is
+    /// still bit-identical across shard counts.
+    pub pods: Option<usize>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -79,6 +87,12 @@ impl<'a> RunOptions<'a> {
     /// Inject a fault plan.
     pub fn with_faults(mut self, faults: &'a FaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Plan hierarchically with pods of at most `pod_size` servers.
+    pub fn with_pods(mut self, pod_size: usize) -> Self {
+        self.pods = Some(pod_size);
         self
     }
 
@@ -130,9 +144,16 @@ mod tests {
         let opts = RunOptions::default()
             .with_telemetry(&telemetry)
             .with_shards(0)
-            .with_series();
+            .with_series()
+            .with_pods(256);
         assert_eq!(opts.shards_or(5), 0, "explicit 0 (auto) beats config");
         assert!(opts.capture_series);
         assert!(opts.telemetry().is_enabled());
+        assert_eq!(opts.pods, Some(256));
+    }
+
+    #[test]
+    fn pods_default_to_flat() {
+        assert!(RunOptions::default().pods.is_none());
     }
 }

@@ -114,6 +114,208 @@ fn free_list_never_resurrects_and_never_grows_past_high_water() {
     });
 }
 
+/// One op of the migration/churn interleaving script (see
+/// `rebalance_migrations_interleaved_with_recycling_stay_consistent`).
+#[derive(Debug, Clone)]
+enum MixOp {
+    /// Register `VmId(label)` and place it on the first host with room.
+    Add(u64),
+    /// Remove a pseudo-randomly chosen live VM, freeing its slot.
+    Remove(u64),
+    /// Rebalance-style move: migrate a pseudo-randomly chosen live VM to
+    /// the given server (the cross-pod rebalance and drain passes issue
+    /// exactly these one-VM moves).
+    Migrate(u64, usize),
+    /// Replay a dead handle through `migrate_vm` — must fail stale, even
+    /// when the slot already hosts a new tenant.
+    MigrateStale(u64, usize),
+}
+
+#[derive(Debug, Clone)]
+struct MixScript {
+    ops: Vec<MixOp>,
+}
+
+const MIX_SERVERS: usize = 3;
+
+fn mix_script() -> impl Gen<Value = MixScript> {
+    from_fn(|rng: &mut TestRng| {
+        let n_ops = rng.usize_in(1, 80);
+        let ops = (0..n_ops)
+            .map(|_| match rng.usize_in(0, 9) {
+                0..=3 => MixOp::Add(rng.u64_in(0, 12)),
+                4 | 5 => MixOp::Remove(rng.u64_in(0, 1 << 20)),
+                6 | 7 => MixOp::Migrate(rng.u64_in(0, 1 << 20), rng.usize_in(0, MIX_SERVERS - 1)),
+                _ => MixOp::MigrateStale(rng.u64_in(0, 1 << 20), rng.usize_in(0, MIX_SERVERS - 1)),
+            })
+            .collect();
+        MixScript { ops }
+    })
+}
+
+/// Rebalance-style migrations interleaved with slot recycling: under
+/// arbitrary add/remove/migrate scripts over a memory-tight fleet,
+///
+/// 1. a committed migration moves exactly the named VM and logs exactly
+///    one migration record; a refused one (same host, memory overflow)
+///    rolls back to the pre-call placement;
+/// 2. dead handles fail `migrate_vm` with `DcError::StaleHandle` forever,
+///    even after their slot is recycled for a new tenant — a stale
+///    rebalance move can never drag the new occupant anywhere;
+/// 3. the hosted lists stay exact: every placed VM appears on exactly one
+///    host, unplaced and removed VMs on none, and the arena never grows
+///    past its high-water live population.
+#[test]
+fn rebalance_migrations_interleaved_with_recycling_stay_consistent() {
+    check(CASES, &mix_script(), |s| {
+        let mut dc = DataCenter::new();
+        // Small hosts (4096 MiB) and 1024 MiB VMs: four tenants fill a
+        // host, so migrations regularly bounce off the memory constraint
+        // and exercise the rollback path.
+        let servers: Vec<ServerHandle> = (0..MIX_SERVERS)
+            .map(|_| dc.add_server(Server::active(ServerSpec::type_dual_1_5ghz())))
+            .collect();
+        let mut live = std::collections::BTreeMap::new();
+        let mut placed_on: std::collections::BTreeMap<VmId, Option<usize>> =
+            std::collections::BTreeMap::new();
+        let mut dead_handles: Vec<vdc_dcsim::VmHandle> = Vec::new();
+        let mut high_water = 0usize;
+        let mut expected_migrations = 0usize;
+
+        for op in &s.ops {
+            match *op {
+                MixOp::Add(label) => {
+                    let id = VmId(label);
+                    if let Ok(handle) = dc.add_vm(VmSpec::new(id.0, 0.5, 1024.0)) {
+                        for dead in dead_handles.iter().filter(|h| h.index() == handle.index()) {
+                            prop_assert!(
+                                handle.generation() > dead.generation(),
+                                "slot {} reissued at generation {} <= dead generation {}",
+                                handle.index(),
+                                handle.generation(),
+                                dead.generation()
+                            );
+                        }
+                        let mut host = None;
+                        for (i, &srv) in servers.iter().enumerate() {
+                            if dc.place_vm(handle, srv).is_ok() {
+                                host = Some(i);
+                                break;
+                            }
+                        }
+                        live.insert(id, handle);
+                        placed_on.insert(id, host);
+                        high_water = high_water.max(live.len());
+                    }
+                }
+                MixOp::Remove(pick) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let idx = pick as usize % live.len();
+                    let id = *live.keys().nth(idx).expect("pick in range");
+                    let handle = live.remove(&id).expect("tracked live VM");
+                    placed_on.remove(&id);
+                    let spec = dc.remove_vm(handle).expect("live handle removes cleanly");
+                    prop_assert_eq!(spec.id, id, "removed the VM the handle named");
+                    dead_handles.push(handle);
+                }
+                MixOp::Migrate(pick, target) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let idx = pick as usize % live.len();
+                    let id = *live.keys().nth(idx).expect("pick in range");
+                    let handle = live[&id];
+                    let before = placed_on[&id];
+                    match dc.migrate_vm(handle, servers[target]) {
+                        Ok(record) => {
+                            prop_assert_eq!(record.vm, id, "migrated the VM the handle named");
+                            prop_assert_eq!(
+                                record.from,
+                                before.map(|i| servers[i].index()),
+                                "migration record origin"
+                            );
+                            prop_assert_eq!(
+                                record.to,
+                                servers[target].index(),
+                                "migration record target"
+                            );
+                            placed_on.insert(id, Some(target));
+                            expected_migrations += 1;
+                        }
+                        Err(_) => {
+                            // Unplaced VM, same-host move, or memory
+                            // overflow on the target: the placement must
+                            // be exactly what it was before the call.
+                            prop_assert_eq!(
+                                dc.placement_of(handle).map(|s| s.index()),
+                                before.map(|i| servers[i].index()),
+                                "refused migration did not roll back"
+                            );
+                        }
+                    }
+                }
+                MixOp::MigrateStale(pick, target) => {
+                    if dead_handles.is_empty() {
+                        continue;
+                    }
+                    let dead = dead_handles[pick as usize % dead_handles.len()];
+                    prop_assert_eq!(
+                        dc.migrate_vm(dead, servers[target]).unwrap_err(),
+                        DcError::StaleHandle(dead.index()),
+                        "stale handle {:?} accepted a migration",
+                        dead
+                    );
+                }
+            }
+            prop_assert!(
+                dc.vm_slots() <= high_water,
+                "arena grew to {} slots with high-water population {}",
+                dc.vm_slots(),
+                high_water
+            );
+            prop_assert_eq!(
+                dc.migrations().len(),
+                expected_migrations,
+                "migration log drifted from committed moves"
+            );
+            // Hosted lists stay exact: placed VMs on exactly their host,
+            // nobody else anywhere.
+            let mut hosted_seen = std::collections::BTreeMap::new();
+            for (i, &srv) in servers.iter().enumerate() {
+                for &h in dc.hosted_vms(srv).expect("valid server") {
+                    let id = dc.vm(h).expect("hosted handle is live").id;
+                    prop_assert!(
+                        hosted_seen.insert(id, i).is_none(),
+                        "VM {:?} hosted on two servers",
+                        id
+                    );
+                }
+            }
+            for (&id, &host) in &placed_on {
+                prop_assert_eq!(
+                    hosted_seen.get(&id).copied(),
+                    host,
+                    "hosted list diverged for {:?}",
+                    id
+                );
+            }
+            prop_assert_eq!(hosted_seen.len(), placed_on.values().flatten().count());
+            for dead in &dead_handles {
+                prop_assert_eq!(
+                    dc.vm(*dead).unwrap_err(),
+                    DcError::StaleHandle(dead.index()),
+                    "stale handle {:?} resurrected",
+                    dead
+                );
+                prop_assert_eq!(dc.placement_of(*dead), None);
+            }
+        }
+        Ok(())
+    });
+}
+
 /// One fault-script op over a small placed fleet.
 #[derive(Debug, Clone)]
 enum FaultOp {

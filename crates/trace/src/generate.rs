@@ -47,12 +47,44 @@ impl TraceConfig {
     }
 }
 
-/// Per-VM randomized parameters.
-struct VmParams {
-    sector: Sector,
-    scale: f64,
-    phase_h: f64,
-    ar_state: f64,
+/// Per-VM randomized parameters (shared with the streaming generator in
+/// [`crate::stream`], which must reproduce the per-VM draw order exactly).
+pub(crate) struct VmParams {
+    pub(crate) sector: Sector,
+    pub(crate) scale: f64,
+    pub(crate) phase_h: f64,
+    pub(crate) ar_state: f64,
+}
+
+/// Draw one VM's randomized parameters and metadata: sector, scale, phase,
+/// nominal capacity, memory — in that exact RNG order.
+pub(crate) fn draw_vm(rng: &mut SimRng) -> (VmParams, VmTraceMeta) {
+    // Sector mix: weighted toward telecom/financial like enterprise
+    // fleets; each VM perturbs its sector's canonical shape.
+    let sector = match rng.index(10) {
+        0..=2 => Sector::Manufacturing,
+        3..=5 => Sector::Telecom,
+        6..=7 => Sector::Financial,
+        _ => Sector::Retail,
+    };
+    let p = VmParams {
+        sector,
+        scale: 0.6 + 0.8 * rng.uniform(),
+        phase_h: rng.uniform() * 3.0 - 1.5,
+        ar_state: 0.0,
+    };
+    // Nominal source-server capacity: 1–4 GHz-class machines.
+    let nominal_ghz = *rng.pick(&[1.0, 1.5, 2.0, 3.0, 4.0]);
+    // Memory: 512 MiB – 4 GiB, correlated with capacity.
+    let memory_mib = 512.0 * (1.0 + rng.index((nominal_ghz * 2.0) as usize + 1) as f64);
+    (
+        p,
+        VmTraceMeta {
+            sector,
+            nominal_ghz,
+            memory_mib,
+        },
+    )
 }
 
 /// Generate a synthetic utilization trace.
@@ -73,40 +105,23 @@ pub fn generate_trace(cfg: &TraceConfig) -> UtilizationTrace {
     let mut meta = Vec::with_capacity(cfg.n_vms);
 
     for _ in 0..cfg.n_vms {
-        // Sector mix: weighted toward telecom/financial like enterprise
-        // fleets; each VM perturbs its sector's canonical shape.
-        let sector = match rng.index(10) {
-            0..=2 => Sector::Manufacturing,
-            3..=5 => Sector::Telecom,
-            6..=7 => Sector::Financial,
-            _ => Sector::Retail,
-        };
-        let mut p = VmParams {
-            sector,
-            scale: 0.6 + 0.8 * rng.uniform(),
-            phase_h: rng.uniform() * 3.0 - 1.5,
-            ar_state: 0.0,
-        };
-        // Nominal source-server capacity: 1–4 GHz-class machines.
-        let nominal_ghz = *rng.pick(&[1.0, 1.5, 2.0, 3.0, 4.0]);
-        // Memory: 512 MiB – 4 GiB, correlated with capacity.
-        let memory_mib = 512.0 * (1.0 + rng.index((nominal_ghz * 2.0) as usize + 1) as f64);
-
+        let (mut p, m) = draw_vm(&mut rng);
         for t in 0..cfg.n_samples {
             let u = sample_utilization(&mut p, t, cfg.interval_s, &mut rng);
             data.push(u);
         }
-        meta.push(VmTraceMeta {
-            sector,
-            nominal_ghz,
-            memory_mib,
-        });
+        meta.push(m);
     }
     UtilizationTrace::from_parts(cfg.n_samples, cfg.interval_s, data, meta)
 }
 
 /// One utilization sample for one VM.
-fn sample_utilization(p: &mut VmParams, t: usize, interval_s: f64, rng: &mut SimRng) -> f64 {
+pub(crate) fn sample_utilization(
+    p: &mut VmParams,
+    t: usize,
+    interval_s: f64,
+    rng: &mut SimRng,
+) -> f64 {
     let shape = p.sector.shape();
     let hours = t as f64 * interval_s / 3600.0;
     let hour_of_day = (hours + p.phase_h).rem_euclid(24.0);

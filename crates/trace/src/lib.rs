@@ -16,7 +16,11 @@
 //!   crowds ([`generate::TraceConfig::paper_scale`] emits exactly 5,415
 //!   VMs × 672 samples at 15-minute spacing);
 //! * [`store`] — an in-memory trace type ([`store::UtilizationTrace`]) and
-//!   a CSV codec so the real trace can be dropped in if available.
+//!   a CSV codec so the real trace can be dropped in if available;
+//! * [`stream`] — a constant-memory streaming generator
+//!   ([`stream::StreamingTrace`]) and the [`stream::DemandSource`] trait the
+//!   replay loops are generic over, for fleets whose full-week matrix would
+//!   not fit in memory.
 
 #![warn(missing_docs)]
 
@@ -24,8 +28,10 @@ pub mod generate;
 pub mod sector;
 pub mod stats;
 pub mod store;
+pub mod stream;
 
 pub use generate::{generate_trace, TraceConfig};
 pub use sector::Sector;
 pub use stats::{trace_stats, TraceStats};
 pub use store::{TraceError, UtilizationTrace, VmTraceMeta};
+pub use stream::{DemandSource, StreamingTrace};

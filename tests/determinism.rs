@@ -9,9 +9,10 @@
 //! build) a hard failure.
 
 use vdc_core::cosim::{run_cosim, CosimConfig, CosimResult};
-use vdc_core::{FaultPlan, RunOptions};
+use vdc_core::largescale::{run_large_scale, LargeScaleConfig, OptimizerKind};
+use vdc_core::{run_large_scale_streaming, FaultPlan, RunOptions};
 use vdc_telemetry::Telemetry;
-use vdc_trace::{generate_trace, TraceConfig};
+use vdc_trace::{generate_trace, StreamingTrace, TraceConfig};
 
 fn small_run(seed: u64) -> CosimResult {
     let trace = generate_trace(&TraceConfig {
@@ -147,6 +148,110 @@ fn empty_fault_plan_is_bit_identical_to_a_plain_run() {
     );
     assert_eq!(plain.migrations, faulted.migrations);
     assert_eq!(plain.final_placements, faulted.final_placements);
+}
+
+/// The streaming trace generator must be a pure re-chunking of its
+/// materialized twin ([`StreamingTrace::materialize`], the documented
+/// bit-identity reference — `generate_trace`'s serial RNG is a different
+/// stream by design): driving the replay sample-by-sample from
+/// [`StreamingTrace`] yields every bit the materialized week does, with
+/// and without the hierarchical pod optimizer. This is the determinism
+/// half of the megafleet claim — constant memory may not cost a single
+/// ULP.
+#[test]
+fn streaming_replay_is_bit_identical_to_materialized() {
+    let trace_cfg = TraceConfig {
+        n_vms: 30,
+        n_samples: 24,
+        interval_s: 900.0,
+        seed: 0x5EED5,
+    };
+    // Streaming refuses to auto-size (that would scan the whole trace up
+    // front), so pin the fleet explicitly for both runs.
+    let cfg = LargeScaleConfig {
+        n_servers: Some(24),
+        ..LargeScaleConfig::new(30, OptimizerKind::Ipac)
+    };
+    for pods in [None, Some(4)] {
+        let mut opts = RunOptions::default().with_series();
+        if let Some(p) = pods {
+            opts = opts.with_pods(p);
+        }
+        let trace = StreamingTrace::materialize(&trace_cfg);
+        let materialized = run_large_scale(&trace, &cfg, &opts).expect("materialized run");
+        let mut stream = StreamingTrace::new(&trace_cfg);
+        let streamed = run_large_scale_streaming(&mut stream, &cfg, &opts).expect("streaming run");
+        let ctx = format!("pods={pods:?}");
+        assert_eq!(
+            materialized.total_energy_wh.to_bits(),
+            streamed.total_energy_wh.to_bits(),
+            "{ctx}: total energy diverged between streaming and materialized"
+        );
+        assert_eq!(
+            bits(
+                &materialized
+                    .series
+                    .iter()
+                    .map(|s| s.power_w)
+                    .collect::<Vec<_>>()
+            ),
+            bits(
+                &streamed
+                    .series
+                    .iter()
+                    .map(|s| s.power_w)
+                    .collect::<Vec<_>>()
+            ),
+            "{ctx}: power series diverged between streaming and materialized"
+        );
+        assert_eq!(
+            materialized.sla_violation_fraction.to_bits(),
+            streamed.sla_violation_fraction.to_bits(),
+            "{ctx}: SLA fraction diverged"
+        );
+        assert_eq!(
+            materialized.migrations, streamed.migrations,
+            "{ctx}: migrations diverged"
+        );
+        assert_eq!(
+            materialized.final_placements, streamed.final_placements,
+            "{ctx}: final placements diverged"
+        );
+    }
+}
+
+/// Same-seed hierarchical runs are bit-identical — the pod optimizer adds
+/// no randomness source beyond the seeded trace.
+#[test]
+fn same_seed_hierarchical_runs_are_bit_identical() {
+    let run = || {
+        let trace = generate_trace(&TraceConfig {
+            n_vms: 30,
+            n_samples: 24,
+            interval_s: 900.0,
+            seed: 0xD5EED,
+        });
+        let cfg = LargeScaleConfig::new(30, OptimizerKind::Ipac);
+        run_large_scale(
+            &trace,
+            &cfg,
+            &RunOptions::default().with_series().with_pods(8),
+        )
+        .expect("hierarchical run")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.total_energy_wh.to_bits(),
+        b.total_energy_wh.to_bits(),
+        "hierarchical energy diverged between same-seed runs"
+    );
+    assert_eq!(
+        bits(&a.series.iter().map(|s| s.power_w).collect::<Vec<_>>()),
+        bits(&b.series.iter().map(|s| s.power_w).collect::<Vec<_>>()),
+        "hierarchical power trajectory diverged between same-seed runs"
+    );
+    assert_eq!(a.final_placements, b.final_placements);
 }
 
 #[test]

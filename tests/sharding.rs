@@ -385,6 +385,61 @@ fn crash_storm_churn_is_bit_identical_across_shard_counts() {
     }
 }
 
+fn hierarchical_at(
+    trace: &UtilizationTrace,
+    shards: usize,
+) -> (LargeScaleResult, Vec<u64>, Telemetry) {
+    let mut cfg = LargeScaleConfig::new(30, OptimizerKind::Ipac);
+    // Two-site fleet with pods of 4: the partition yields multiple pods
+    // per site, so the shard fan-out over pods, the merge in pod order,
+    // and the spill/rebalance/drain passes are all on the path under
+    // test — not just a degenerate single pod.
+    cfg.fleet = Some(FleetSpec::specpower_mixed(12));
+    let telemetry = Telemetry::enabled();
+    let opts = RunOptions::default()
+        .with_telemetry(&telemetry)
+        .with_shards(shards)
+        .with_series()
+        .with_pods(4);
+    let result = run_large_scale(trace, &cfg, &opts).expect("hierarchical replay runs");
+    let series_bits = result.series.iter().map(|s| s.power_w.to_bits()).collect();
+    (result, series_bits, telemetry)
+}
+
+/// The hierarchical pod optimizer must preserve the repo-wide invariant:
+/// pods are packed from one immutable snapshot and merged in pod index
+/// order, so the shard count — which only decides how pods fan out over
+/// workers — can never leak into a result bit.
+#[test]
+fn hierarchical_is_bit_identical_across_shard_counts() {
+    let trace = fast_trace(30, 0xF1EE7);
+    let (baseline, base_series, base_tel) = hierarchical_at(&trace, 1);
+    let base_state = telemetry_state(&base_tel);
+    assert!(
+        base_state
+            .0
+            .iter()
+            .any(|(n, v)| n == "optimizer.pod_invocations" && *v > 0),
+        "scenario must actually run pod-local planning"
+    );
+    for shards in SHARD_COUNTS {
+        let (r, series, tel) = hierarchical_at(&trace, shards);
+        let ctx = format!("hierarchical shards={shards}");
+        assert_largescale_identical(&baseline, &r, &ctx);
+        assert_eq!(base_series, series, "{ctx}: power series diverged");
+        assert_eq!(
+            bits(&baseline.site_energy_wh),
+            bits(&r.site_energy_wh),
+            "{ctx}: per-site energy diverged"
+        );
+        assert_eq!(
+            base_state,
+            telemetry_state(&tel),
+            "{ctx}: telemetry counters diverged"
+        );
+    }
+}
+
 fn env_shards() -> usize {
     std::env::var("VDC_SHARDS")
         .ok()

@@ -41,13 +41,19 @@ const HISTOGRAM_KEYS: [&str; 8] = ["name", "count", "min", "max", "mean", "p50",
 const BENCH_KEYS: [&str; 3] = ["bench", "samples", "results"];
 
 /// Timing fields of a bench record — wall-clock, never gated on value.
-const BENCH_TIMING_KEYS: [&str; 6] = [
+/// Peak-RSS samples ride along: like wall-clock they are host-dependent
+/// measurements (allocator, page size, concurrent load), so the gate
+/// checks their presence, not their value — the hard RSS *budget* is
+/// enforced by the bench bin itself, which exits non-zero on overshoot.
+const BENCH_TIMING_KEYS: [&str; 8] = [
     "median_ns",
     "min_ns",
     "mean_ns",
     "max_ns",
     "iters_per_sample",
     "sample_ns",
+    "peak_rss_kib",
+    "rss_budget_kib",
 ];
 
 fn rel_close(a: f64, b: f64, tol: f64) -> bool {
@@ -68,9 +74,11 @@ fn keys(v: &JsonValue) -> Vec<String> {
     }
 }
 
-/// Is this histogram (or gauge) wall-clock timing data?
+/// Is this histogram (or gauge) wall-clock timing data? Peak-RSS samples
+/// are treated the same way: host-dependent measurements whose shape is
+/// gated but whose value is not.
 fn is_wall_clock(name: &str) -> bool {
-    name.ends_with("_ns")
+    name.ends_with("_ns") || name.ends_with("_rss_kib")
 }
 
 /// Validate the shape of a `vdc-metrics/1` document. Returns one problem
