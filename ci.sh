@@ -80,6 +80,10 @@ mkdir -p "$scratch"
 (cd "$scratch" && ../release/week_profile -q >/dev/null)
 (cd "$scratch" && ../release/churn -q >/dev/null)
 (cd "$scratch" && ../release/faults --apps 8 --samples 48 -q >/dev/null)
+# Controller ablation: the same trace through all three TierController
+# impls (MPC / robust / cooling-coupled); the gate diffs the per-
+# controller energy/violation/safe-mode family.
+(cd "$scratch" && ../release/controllers --apps 8 --samples 48 -q >/dev/null)
 # Megafleet smoke tier: streaming trace + hierarchical pods. --max-rss-mib
 # asserts the constant-memory claim inside the bin (exit 1 on breach); the
 # gate then diffs the deterministic counters and the bench record shape.

@@ -12,7 +12,8 @@
 //! ```text
 //! cargo run -p vdc-bench --bin megafleet --release [--servers 2000]
 //!     [--vms 20000] [--samples 48] [--pod-size 256] [--seed N]
-//!     [--shards N] [--max-rss-mib M] [--out DIR] [--quiet|-q]
+//!     [--shards N] [--max-rss-mib M] [--fleet spec.json] [--out DIR]
+//!     [--quiet|-q]
 //! ```
 //!
 //! `--max-rss-mib 0` (the default) measures without a budget. The
@@ -31,6 +32,7 @@ use vdc_bench::{arg_num, arg_value, figure_header, rule};
 use vdc_core::largescale::{LargeScaleConfig, OptimizerKind};
 use vdc_core::{run_large_scale_streaming, RunOptions};
 use vdc_dcsim::json::{array, JsonObject};
+use vdc_dcsim::FleetSpec;
 use vdc_telemetry::export::write_metrics;
 use vdc_telemetry::{Reporter, Telemetry};
 use vdc_trace::{StreamingTrace, TraceConfig};
@@ -61,6 +63,19 @@ fn main() {
     let shards = arg_num(&args, "--shards", 0usize); // 0 = host parallelism
     let max_rss_mib = arg_num(&args, "--max-rss-mib", 0u64); // 0 = no budget
     let out_dir = arg_value(&args, "--out").unwrap_or_else(|| "results".to_string());
+    // Optional fleet-spec file (`FleetSpec::to_json` format). A loaded
+    // fleet defines its own host mix and server counts, so it takes
+    // precedence over `--servers`.
+    let fleet = arg_value(&args, "--fleet").map(|path| {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("could not read fleet spec {path}: {e}");
+            std::process::exit(1);
+        });
+        FleetSpec::from_json_str(&text).unwrap_or_else(|e| {
+            eprintln!("could not parse fleet spec {path}: {e}");
+            std::process::exit(1);
+        })
+    });
 
     figure_header(
         "Megafleet",
@@ -80,6 +95,7 @@ fn main() {
     let telemetry = Telemetry::enabled();
     let cfg = LargeScaleConfig {
         n_servers: Some(servers),
+        fleet,
         ..LargeScaleConfig::new(n_vms, OptimizerKind::Ipac)
     };
     let mut opts = RunOptions::default()

@@ -190,6 +190,13 @@ pub struct MpcController {
     /// Number of dynamic-matrix rebuilds since construction (the cache
     /// generation of Ψ; see [`MpcController::predictor_generation`]).
     generation: u64,
+    /// Cooling-coupling weight of the facility-power term (see
+    /// [`MpcController::set_energy_weight`]); `0.0` — the default — keeps
+    /// the objective exactly the paper's eq. (2).
+    energy_weight: f64,
+    /// Site PUE observed for the current period (≥ 1); scales the
+    /// facility-power term when the cooling coupling is enabled.
+    pue: f64,
     /// Observability sink (disabled by default; see [`MpcController::set_telemetry`]).
     telemetry: Telemetry,
 }
@@ -223,6 +230,8 @@ impl MpcController {
             disturbance: 0.0,
             disturbance_gain: 1.0,
             generation: 0,
+            energy_weight: 0.0,
+            pue: 1.0,
             telemetry: Telemetry::disabled(),
         })
     }
@@ -283,6 +292,49 @@ impl MpcController {
     /// outside the interval are clamped. See [`crate::observer`].
     pub fn set_disturbance_gain(&mut self, gain: f64) {
         self.disturbance_gain = gain.clamp(1e-6, 1.0);
+    }
+
+    /// Enable (or disable, with `0.0`) the cooling-coupled facility-power
+    /// term in the objective: `ρ_cool · Σ_j ||c(k+j|k)||²` with
+    /// `ρ_cool = weight · PUE` (see [`set_pue`](MpcController::set_pue)).
+    /// Predicted *allocation levels* — not moves — are penalized, so the
+    /// controller leans toward the cheapest allocation mix that still
+    /// satisfies the terminal constraint; a higher facility PUE (more
+    /// cooling watts per IT watt) leans harder. With the default `0.0` the
+    /// stacked system is exactly the paper's eq. (2), bit for bit.
+    ///
+    /// The weight is in `Q` units per GHz² (tracking errors are ms², so
+    /// values of order 1e1–1e3 trade visible energy against residual
+    /// tracking slack). Rejects negative or non-finite weights.
+    pub fn set_energy_weight(&mut self, weight: f64) -> Result<()> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(ControlError::BadConfig(format!(
+                "energy weight {weight} must be finite and >= 0"
+            )));
+        }
+        self.energy_weight = weight;
+        Ok(())
+    }
+
+    /// The cooling-coupling weight (`0.0` = off).
+    pub fn energy_weight(&self) -> f64 {
+        self.energy_weight
+    }
+
+    /// Observe the current site PUE (facility watts per IT watt, ≥ 1).
+    /// Only consulted while the cooling coupling is enabled
+    /// ([`set_energy_weight`](MpcController::set_energy_weight)); with a
+    /// zero weight the observation is recorded but cannot perturb the
+    /// control law. Non-finite values are ignored; values below 1 clamp.
+    pub fn set_pue(&mut self, pue: f64) {
+        if pue.is_finite() {
+            self.pue = pue.max(1.0);
+        }
+    }
+
+    /// The most recently observed site PUE.
+    pub fn pue(&self) -> f64 {
+        self.pue
     }
 
     /// Replace the reference trajectory at run time — e.g. a supervisor
@@ -463,9 +515,16 @@ impl MpcController {
 
         // Stacked least-squares objective:
         //   || sqrt(Q) (Ψ ΔC − (ref − F)) ||² + || sqrt(R̄) ΔC ||²
+        // plus, when the cooling coupling is on, the facility-power rows
+        //   || sqrt(ρ_cool) c(k+j|k) ||²  for j = 0..M−1
+        // where c(k+j|k) = c(k) + Σ_{i≤j} Δc(k+i|k) and ρ_cool scales with
+        // the observed site PUE. A zero weight appends nothing, so the
+        // default stacked system is bit-identical to the paper's eq. (2).
+        let rho_cool = self.energy_weight * self.pue;
+        let n_cool = if rho_cool > 0.0 { n_dec } else { 0 };
         let sq = self.cfg.q_weight.sqrt();
-        let mut a = Matrix::zeros(p + n_dec, n_dec);
-        let mut b = vec![0.0; p + n_dec];
+        let mut a = Matrix::zeros(p + n_dec + n_cool, n_dec);
+        let mut b = vec![0.0; p + n_dec + n_cool];
         for i in 0..p {
             for j in 0..n_dec {
                 a[(i, j)] = sq * self.psi[(i, j)];
@@ -475,6 +534,20 @@ impl MpcController {
         for j in 0..n_dec {
             let ch = j % m;
             a[(p + j, j)] = self.cfg.r_weight[ch].sqrt();
+        }
+        if n_cool > 0 {
+            // Lower-triangular move selector: the level at horizon step j
+            // accumulates every move up to and including j.
+            let sc = rho_cool.sqrt();
+            for j in 0..mm {
+                for ch in 0..m {
+                    let row = p + n_dec + j * m + ch;
+                    for i in 0..=j {
+                        a[(row, i * m + ch)] = sc;
+                    }
+                    b[row] = -sc * self.c_current[ch];
+                }
+            }
         }
         let a_rhs = Vector::from_vec(b);
 
@@ -965,6 +1038,75 @@ mod tests {
             step.delta[0].abs() > step.delta[1].abs(),
             "cheap channel should move more: {:?}",
             step.delta
+        );
+    }
+
+    #[test]
+    fn zero_energy_weight_is_bit_identical_even_with_pue_observed() {
+        // The cooling gate: a controller that merely *observes* PUE but has
+        // no energy weight must produce every bit the plain controller does.
+        let model = plant_model();
+        let cfg = default_cfg(1000.0);
+        let mut plain = MpcController::new(model.clone(), cfg.clone(), &[1.0, 1.0]).unwrap();
+        let mut observed = MpcController::new(model, cfg, &[1.0, 1.0]).unwrap();
+        observed.set_energy_weight(0.0).unwrap();
+        observed.set_pue(1.73);
+        for t in [1900.0, 1500.0, 1200.0, 1050.0, 990.0] {
+            let a = plain.step(t).unwrap();
+            let b = observed.step(t).unwrap();
+            for (x, y) in a.allocation.iter().zip(&b.allocation) {
+                assert_eq!(x.to_bits(), y.to_bits(), "PUE observation perturbed t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_weight_validation() {
+        let model = plant_model();
+        let mut ctrl = MpcController::new(model, default_cfg(1000.0), &[1.0, 1.0]).unwrap();
+        assert!(ctrl.set_energy_weight(-1.0).is_err());
+        assert!(ctrl.set_energy_weight(f64::NAN).is_err());
+        assert!(ctrl.set_energy_weight(50.0).is_ok());
+        assert_eq!(ctrl.energy_weight(), 50.0);
+        ctrl.set_pue(f64::NAN); // ignored
+        assert_eq!(ctrl.pue(), 1.0);
+        ctrl.set_pue(0.2); // clamps up
+        assert_eq!(ctrl.pue(), 1.0);
+        ctrl.set_pue(1.6);
+        assert_eq!(ctrl.pue(), 1.6);
+    }
+
+    #[test]
+    fn cooling_term_shrinks_the_allocation_norm() {
+        // With the facility-power rows active the controller settles on a
+        // cheaper allocation mix (lower Σc²) while the terminal constraint
+        // keeps it tracking the set point.
+        let model = plant_model();
+        let run = |weight: f64, pue: f64| {
+            let mut ctrl =
+                MpcController::new(model.clone(), default_cfg(1000.0), &[1.0, 1.0]).unwrap();
+            ctrl.set_energy_weight(weight).unwrap();
+            ctrl.set_pue(pue);
+            let traj = run_closed_loop(&mut ctrl, &model, 80, 2000.0);
+            let norm: f64 = ctrl.current_allocation().iter().map(|c| c * c).sum();
+            (norm, traj[79])
+        };
+        let (norm_plain, t_plain) = run(0.0, 1.0);
+        let (norm_cool, t_cool) = run(100.0, 1.5);
+        assert!(
+            norm_cool < norm_plain - 1e-6,
+            "cooling norm {norm_cool} must undercut plain {norm_plain}"
+        );
+        assert!((t_plain - 1000.0).abs() < 15.0, "plain tracks: {t_plain}");
+        assert!(
+            (t_cool - 1000.0).abs() < 60.0,
+            "cooling still tracks: {t_cool}"
+        );
+        // A hotter facility leans harder on the allocation.
+        let (norm_hot, _) = run(100.0, 3.0);
+        assert!(
+            norm_hot <= norm_cool + 1e-9,
+            "PUE 3.0 norm {norm_hot} vs PUE 1.5 norm {norm_cool}"
         );
     }
 

@@ -192,13 +192,18 @@ impl ResponseTimeController {
     /// Override the per-tier allocation bounds (GHz). The edit happens in
     /// place: controller state resets as a rebuild would, but the MPC's
     /// cached step-response matrix survives (it depends only on the model
-    /// and horizons). Invalid bounds are ignored, like the rebuild
-    /// failures before them.
-    pub fn set_bounds(&mut self, c_min: f64, c_max: f64) {
+    /// and horizons). Invalid bounds (non-finite, inverted, or infeasible
+    /// against the rate limit) are rejected: the error is returned, a
+    /// `control.bad_bounds` telemetry counter ticks, and the previous
+    /// bounds stay in force.
+    pub fn set_bounds(&mut self, c_min: f64, c_max: f64) -> Result<()> {
         let n = self.mpc.model().n_inputs();
-        let _ = self
-            .mpc
-            .set_allocation_bounds(vec![c_min; n], vec![c_max; n]);
+        self.mpc
+            .set_allocation_bounds(vec![c_min; n], vec![c_max; n])
+            .map_err(|e| {
+                self.mpc.telemetry().incr("control.bad_bounds", 1);
+                CoreError::Control(e)
+            })
     }
 
     /// Control period (seconds).
@@ -327,6 +332,18 @@ impl ResponseTimeController {
         // acceptable after a starvation event (the old dynamics are stale
         // anyway).
         let _ = self.mpc.force_allocation(alloc);
+    }
+
+    /// Mutable access to the wrapped MPC, for variant controllers (the
+    /// cooling-coupled wrapper sets its energy weight and PUE multiplier
+    /// here) without widening the public surface.
+    pub(crate) fn mpc_mut(&mut self) -> &mut MpcController {
+        &mut self.mpc
+    }
+
+    /// Shared access to the wrapped MPC (see [`Self::mpc_mut`]).
+    pub(crate) fn mpc(&self) -> &MpcController {
+        &self.mpc
     }
 }
 

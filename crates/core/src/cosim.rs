@@ -16,13 +16,14 @@
 //! at peak concurrency — the classic worst-case sizing the paper's
 //! dynamic reallocation replaces.
 
-use crate::controller::{identify_plant, IdentificationConfig, ResponseTimeController};
+use crate::controller::{identify_plant, IdentificationConfig};
 use crate::largescale::{
     apply_host_events, apply_relief, fault_rollup, optimize_step, register_fault_keys,
     WATCHDOG_STREAK,
 };
 use crate::optimizer::{OptimizerConfig, PowerOptimizer};
 use crate::run::RunOptions;
+use crate::tier::{ControllerSpec, TierController};
 use crate::{CoreError, Result};
 use vdc_apptier::rng::{seed_stream, SimRng};
 use vdc_apptier::{AnalyticPlant, Plant, WorkloadProfile};
@@ -43,7 +44,7 @@ pub struct CosimConfig {
     pub setpoint_ms: f64,
     /// Control periods executed per 15-minute trace sample.
     pub control_periods_per_sample: usize,
-    /// Whether the MPC controllers run; `false` freezes every application
+    /// Whether the tier controllers run; `false` freezes every application
     /// at its peak-sized static allocation (the ablation baseline).
     pub controllers_enabled: bool,
     /// Consolidation period in trace samples (16 = 4 h).
@@ -56,6 +57,11 @@ pub struct CosimConfig {
     /// owns its plant, controller, and `seed_stream`-derived RNG stream,
     /// and all cross-app reductions stay sequential in app order.
     pub shards: usize,
+    /// Which tier controller each application runs (the [`crate::tier`]
+    /// seam). The default, [`ControllerSpec::Mpc`], is the paper's
+    /// controller and keeps the run bit-identical to the pre-seam loop;
+    /// `RunOptions::controller` overrides this per run.
+    pub controller: ControllerSpec,
 }
 
 impl Default for CosimConfig {
@@ -68,6 +74,7 @@ impl Default for CosimConfig {
             optimizer_period_samples: 16,
             seed: 0xC051,
             shards: 1,
+            controller: ControllerSpec::Mpc,
         }
     }
 }
@@ -105,7 +112,7 @@ pub struct CosimResult {
 /// One controlled application in the co-simulation.
 struct App {
     plant: AnalyticPlant,
-    controller: ResponseTimeController,
+    controller: Box<dyn TierController>,
     /// Frozen allocation when controllers are disabled.
     static_alloc: Vec<f64>,
     /// Client population cap (peak concurrency).
@@ -198,6 +205,7 @@ fn run_cosim_impl(
         ));
     }
     let shards = crate::shard::resolve(opts.shards_or(cfg.shards));
+    let spec = opts.controller_or(cfg.controller);
     let mut rng = SimRng::seed_from_u64(cfg.seed);
     let profile = WorkloadProfile::rubbos();
     let period_s = 900.0 / cfg.control_periods_per_sample as f64;
@@ -223,8 +231,7 @@ fn run_cosim_impl(
             0.45,
             cfg.seed ^ 1,
         )?;
-        let mut c =
-            ResponseTimeController::new(model.clone(), cfg.setpoint_ms, period_s, &[1.0, 1.0])?;
+        let mut c = spec.build(&model, cfg.setpoint_ms, period_s, &[1.0, 1.0])?;
         for _ in 0..80 {
             c.control_period(&mut peak_twin)?;
         }
@@ -263,8 +270,7 @@ fn run_cosim_impl(
             0.45,
             seed_stream(cfg.seed, a as u64),
         )?;
-        let mut controller =
-            ResponseTimeController::new(model.clone(), cfg.setpoint_ms, period_s, &c0)?;
+        let mut controller = spec.build(&model, cfg.setpoint_ms, period_s, &c0)?;
         controller.set_telemetry(telemetry.clone());
         let mut handles = [VmHandle::from_index(0); 2];
         for tier in 0..2usize {
@@ -322,6 +328,17 @@ fn run_cosim_impl(
             let u = trace.utilization(a, t);
             let clients = (2.0 + u * app.max_clients as f64).round() as usize;
             app.plant.set_concurrency(clients);
+        }
+
+        // 1.5 Feed-forward: the site's current PUE sample reaches every
+        //     controller before the control fan-out. A no-op by contract
+        //     for controllers that don't price cooling, and absent entirely
+        //     (bit-identical loop) when no series is attached.
+        if let Some(series) = opts.pue {
+            let pue = series.at(t);
+            for app in apps.iter_mut() {
+                app.controller.observe_pue(pue);
+            }
         }
 
         // 2. Application-level control (or static hold), fanned out over

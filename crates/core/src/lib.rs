@@ -21,6 +21,11 @@
 //! [`largescale`] wires the trace-driven 3,000-server simulation of
 //! §VII-B. [`experiments`] contains one runner per paper figure.
 //!
+//! [`tier`] is the pluggable controller seam: the run loops drive every
+//! application through the object-safe [`tier::TierController`] trait, and
+//! [`tier::ControllerSpec`] selects between the paper MPC (default), the
+//! model-free robust provisioning law, and the cooling-coupled MPC.
+//!
 //! [`shard`] is the deterministic fork–join substrate under [`cosim`] and
 //! [`largescale`]: per-element work fans out over scoped threads while
 //! every reduction stays a sequential index-order fold, so sharded runs
@@ -37,6 +42,7 @@ pub mod optimizer;
 pub mod run;
 pub mod shard;
 pub mod testbed;
+pub mod tier;
 
 pub use churn::{run_churn, ChurnResult};
 pub use controller::{IdentificationConfig, ResponseTimeController};
@@ -48,6 +54,10 @@ pub use largescale::{
 pub use optimizer::{pod_partition, OptimizerConfig, PowerOptimizer};
 pub use run::RunOptions;
 pub use testbed::{Testbed, TestbedConfig};
+pub use tier::{
+    ControllerSpec, CoolingTierController, RobustTierController, TierController,
+    DEFAULT_COOLING_WEIGHT,
+};
 pub use vdc_faults::{FaultConfig, FaultPlan, FaultSession};
 
 /// Errors from the integrated runtime.

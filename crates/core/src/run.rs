@@ -8,6 +8,8 @@
 //! runner is `run_xxx(input, &config, &RunOptions)` and new axes don't
 //! multiply the API again.
 
+use crate::tier::ControllerSpec;
+use vdc_dcsim::PueSeries;
 use vdc_faults::FaultPlan;
 use vdc_telemetry::Telemetry;
 
@@ -63,6 +65,21 @@ pub struct RunOptions<'a> {
     /// (`tests/regret.rs`) bounds the power cost — but a given pod size is
     /// still bit-identical across shard counts.
     pub pods: Option<usize>,
+    /// Which tier controller the run builds per application (the
+    /// [`crate::tier`] seam). `None` defers to the runner's config (the
+    /// co-simulation's `CosimConfig::controller`, itself defaulting to the
+    /// paper MPC). Runners without application-level controllers — the
+    /// large-scale trace replay and churn, whose VM demands come straight
+    /// from the trace — ignore this axis entirely. Like `pods`, a
+    /// non-default controller *does* change results; any given spec is
+    /// still deterministic and bit-identical across shard counts.
+    pub controller: Option<ControllerSpec>,
+    /// Site PUE series fed forward to the controllers: each sample, every
+    /// application's controller sees the current PUE via
+    /// [`crate::tier::TierController::observe_pue`]. `None` feeds nothing
+    /// (byte-identical to the pre-seam loop). Only cooling-coupled
+    /// controllers react; for the rest the feed is a no-op by contract.
+    pub pue: Option<&'a PueSeries>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -96,6 +113,18 @@ impl<'a> RunOptions<'a> {
         self
     }
 
+    /// Select the tier controller (overrides the runner config's spec).
+    pub fn with_controller(mut self, spec: ControllerSpec) -> Self {
+        self.controller = Some(spec);
+        self
+    }
+
+    /// Feed the site PUE series forward to the controllers each sample.
+    pub fn with_pue(mut self, pue: &'a PueSeries) -> Self {
+        self.pue = Some(pue);
+        self
+    }
+
     /// The effective fault plan: `None` when no plan was attached *or* the
     /// attached plan injects nothing, so every run loop's fault machinery
     /// is gated on one check and an empty plan cannot perturb anything.
@@ -113,6 +142,13 @@ impl<'a> RunOptions<'a> {
     /// (still subject to `shard::resolve`'s `0` = auto rule).
     pub(crate) fn shards_or(&self, cfg_shards: usize) -> usize {
         self.shards.unwrap_or(cfg_shards)
+    }
+
+    /// The effective controller spec given a runner config's own
+    /// `controller` field: the override wins, otherwise the config value
+    /// passes through.
+    pub(crate) fn controller_or(&self, cfg_controller: ControllerSpec) -> ControllerSpec {
+        self.controller.unwrap_or(cfg_controller)
     }
 }
 
@@ -155,5 +191,24 @@ mod tests {
     #[test]
     fn pods_default_to_flat() {
         assert!(RunOptions::default().pods.is_none());
+    }
+
+    #[test]
+    fn controller_axis_defers_to_config_then_overrides() {
+        let opts = RunOptions::default();
+        assert!(opts.controller.is_none());
+        assert!(opts.pue.is_none());
+        assert_eq!(
+            opts.controller_or(ControllerSpec::Robust),
+            ControllerSpec::Robust
+        );
+        let opts = opts.with_controller(ControllerSpec::cooling());
+        assert_eq!(
+            opts.controller_or(ControllerSpec::Mpc),
+            ControllerSpec::cooling()
+        );
+        let pue = PueSeries::constant(1.4).unwrap();
+        let opts = opts.with_pue(&pue);
+        assert!(opts.pue.is_some());
     }
 }

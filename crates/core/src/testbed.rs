@@ -7,7 +7,8 @@
 //! experiment, we disable the power optimizer to evaluate the response time
 //! controllers"), which is the default here too.
 
-use crate::controller::{identify_plant, IdentificationConfig, ResponseTimeController};
+use crate::controller::{identify_plant, IdentificationConfig};
+use crate::tier::{ControllerSpec, TierController};
 use crate::{CoreError, Result};
 use vdc_apptier::{AppSim, WorkloadProfile};
 use vdc_dcsim::{CpuArbitrator, DataCenter, Server, ServerHandle, ServerSpec, VmHandle, VmSpec};
@@ -31,6 +32,9 @@ pub struct TestbedConfig {
     pub share_model: bool,
     /// Base RNG seed.
     pub seed: u64,
+    /// Which tier controller each application runs (the [`crate::tier`]
+    /// seam; default: the paper MPC).
+    pub controller: ControllerSpec,
 }
 
 impl Default for TestbedConfig {
@@ -43,6 +47,7 @@ impl Default for TestbedConfig {
             ident: IdentificationConfig::default(),
             share_model: true,
             seed: 2010,
+            controller: ControllerSpec::Mpc,
         }
     }
 }
@@ -65,7 +70,7 @@ pub struct TestbedSample {
 pub struct Testbed {
     dc: DataCenter,
     apps: Vec<AppSim>,
-    controllers: Vec<ResponseTimeController>,
+    controllers: Vec<Box<dyn TierController>>,
     /// `vm_handles[app][tier]`.
     vm_handles: Vec<Vec<VmHandle>>,
     time_s: f64,
@@ -131,8 +136,9 @@ impl Testbed {
                     identify_plant(&mut twin, &cfg.ident, cfg.seed + a as u64)?
                 }
             };
-            let controller =
-                ResponseTimeController::new(model, cfg.setpoint_ms, cfg.period_s, &c0)?;
+            let controller = cfg
+                .controller
+                .build(&model, cfg.setpoint_ms, cfg.period_s, &c0)?;
 
             // Register the application's tier VMs, spreading web and DB
             // tiers across different servers.
@@ -179,9 +185,10 @@ impl Testbed {
         &self.dc
     }
 
-    /// Borrow one application's controller.
-    pub fn controller(&self, app: usize) -> &ResponseTimeController {
-        &self.controllers[app]
+    /// Borrow one application's controller (through the
+    /// [`TierController`] seam).
+    pub fn controller(&self, app: usize) -> &dyn TierController {
+        self.controllers[app].as_ref()
     }
 
     /// Change an application's concurrency level (the Fig. 3 workload

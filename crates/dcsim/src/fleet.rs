@@ -14,7 +14,8 @@
 //! single-template fleet byte for byte.
 
 use crate::datacenter::DataCenter;
-use crate::profile::{HostCatalog, ProfileId};
+use crate::json::{array, JsonObject, JsonValue};
+use crate::profile::{HostCatalog, HostProfile, ProfileId};
 use crate::server::Server;
 use crate::{DcError, Result};
 
@@ -219,6 +220,144 @@ impl FleetSpec {
         out
     }
 
+    /// Render the fleet spec as a JSON document (`dcsim::json` dialect),
+    /// the file format the `largescale`/`megafleet` bins load via
+    /// `--fleet <path>`. Profiles serialize in full (every
+    /// [`HostProfile`] field) and site mixes reference them *by name*, so
+    /// a spec file is self-contained and survives catalog reordering.
+    /// [`FleetSpec::from_json_str`] inverts this losslessly (the f64
+    /// writer emits shortest-round-trip decimals).
+    pub fn to_json(&self) -> String {
+        let profiles: Vec<String> = self
+            .catalog
+            .profiles()
+            .iter()
+            .map(|p| {
+                JsonObject::new()
+                    .str("name", &p.name)
+                    .int("cores", p.cores as i64)
+                    .num("peak_power_w", p.peak_power_w)
+                    .num("idle_power_w", p.idle_power_w)
+                    .num("sleep_watts", p.sleep_watts)
+                    .num("max_freq_ghz", p.max_freq_ghz)
+                    .nums("freq_levels_ghz", &p.freq_levels_ghz)
+                    .num("memory_mib", p.memory_mib)
+                    .num("wake_latency_s", p.wake_latency_s)
+                    .build()
+            })
+            .collect();
+        let sites: Vec<String> = self
+            .sites
+            .iter()
+            .map(|s| {
+                let mix: Vec<String> = s
+                    .mix
+                    .iter()
+                    .map(|(id, w)| {
+                        let name = &self
+                            .catalog
+                            .get(*id)
+                            .expect("validated mix references the catalog")
+                            .name;
+                        JsonObject::new()
+                            .str("profile", name)
+                            .int("weight", *w as i64)
+                            .build()
+                    })
+                    .collect();
+                JsonObject::new()
+                    .str("name", &s.name)
+                    .int("n_servers", s.n_servers as i64)
+                    .raw("mix", &array(&mix))
+                    .nums("pue", s.pue.samples())
+                    .build()
+            })
+            .collect();
+        JsonObject::new()
+            .raw("catalog", &array(&profiles))
+            .raw("sites", &array(&sites))
+            .build()
+    }
+
+    /// Parse a fleet spec from its [`FleetSpec::to_json`] document,
+    /// re-running every constructor validation (power curves, DVFS
+    /// ladders, mix weights, PUE bounds) — a hand-edited file fails with
+    /// the same errors the builders raise.
+    pub fn from_json_str(text: &str) -> Result<FleetSpec> {
+        let bad = |what: &str| DcError::Invalid(format!("fleet spec: {what}"));
+        let doc = JsonValue::parse(text).map_err(|e| bad(&format!("invalid JSON: {e}")))?;
+        let f64_of = |obj: &JsonValue, key: &str| -> Result<f64> {
+            obj.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| bad(&format!("missing number {key:?}")))
+        };
+        let str_of = |obj: &JsonValue, key: &str| -> Result<String> {
+            Ok(obj
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| bad(&format!("missing string {key:?}")))?
+                .to_string())
+        };
+        let nums_of = |obj: &JsonValue, key: &str| -> Result<Vec<f64>> {
+            obj.get(key)
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| bad(&format!("missing array {key:?}")))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| bad(&format!("non-numeric entry in {key:?}")))
+                })
+                .collect()
+        };
+
+        let mut profiles = Vec::new();
+        for p in doc
+            .get("catalog")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| bad("missing array \"catalog\""))?
+        {
+            profiles.push(HostProfile {
+                name: str_of(p, "name")?,
+                cores: f64_of(p, "cores")? as u32,
+                peak_power_w: f64_of(p, "peak_power_w")?,
+                idle_power_w: f64_of(p, "idle_power_w")?,
+                sleep_watts: f64_of(p, "sleep_watts")?,
+                max_freq_ghz: f64_of(p, "max_freq_ghz")?,
+                freq_levels_ghz: nums_of(p, "freq_levels_ghz")?,
+                memory_mib: f64_of(p, "memory_mib")?,
+                wake_latency_s: f64_of(p, "wake_latency_s")?,
+            });
+        }
+        let catalog = HostCatalog::new(profiles)?;
+
+        let mut sites = Vec::new();
+        for s in doc
+            .get("sites")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| bad("missing array \"sites\""))?
+        {
+            let mut mix = Vec::new();
+            for m in s
+                .get("mix")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| bad("site missing array \"mix\""))?
+            {
+                let profile = str_of(m, "profile")?;
+                let id = catalog
+                    .by_name(&profile)
+                    .ok_or_else(|| bad(&format!("mix references unknown profile {profile:?}")))?;
+                mix.push((id, f64_of(m, "weight")? as u32));
+            }
+            sites.push(SiteSpec {
+                name: str_of(s, "name")?,
+                n_servers: f64_of(s, "n_servers")? as usize,
+                mix,
+                pue: PueSeries::from_samples(nums_of(s, "pue")?)?,
+            });
+        }
+        FleetSpec::new(catalog, sites)
+    }
+
     /// Stamp the fleet into a [`DataCenter`]: every server starts asleep,
     /// tagged with its site, with each site's PUE initialised to the
     /// series' first sample. Returns the site of each server in arena
@@ -311,6 +450,34 @@ mod tests {
             SiteSpec::new("s", 4, vec![(ProfileId::from_index(99), 1)], 1.0).unwrap();
         assert!(FleetSpec::new(catalog.clone(), vec![unknown_profile]).is_err());
         assert!(FleetSpec::new(catalog, vec![]).is_err());
+    }
+
+    #[test]
+    fn json_round_trips_the_shipped_fleets() {
+        for spec in [FleetSpec::paper_default(40), FleetSpec::specpower_mixed(13)] {
+            let doc = spec.to_json();
+            let back = FleetSpec::from_json_str(&doc).unwrap();
+            assert_eq!(back, spec);
+            // And the document itself is stable under a second round.
+            assert_eq!(back.to_json(), doc);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_and_invalid_specs() {
+        assert!(FleetSpec::from_json_str("not json").is_err());
+        assert!(FleetSpec::from_json_str("{}").is_err(), "missing catalog");
+        // Structurally valid but semantically bad: PUE below 1.0 fails the
+        // same constructor validation the builders run.
+        let doc = FleetSpec::paper_default(4)
+            .to_json()
+            .replace("\"pue\":[1.0]", "\"pue\":[0.5]");
+        assert!(FleetSpec::from_json_str(&doc).is_err());
+        // Mix referencing a profile the catalog doesn't have.
+        let doc = FleetSpec::specpower_mixed(4)
+            .to_json()
+            .replace("ASUSTeK-RS720-E9\",\"weight\"", "no-such-box\",\"weight\"");
+        assert!(FleetSpec::from_json_str(&doc).is_err());
     }
 
     #[test]

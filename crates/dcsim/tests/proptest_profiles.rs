@@ -6,7 +6,7 @@
 //! Failures replay with `VDC_CHECK_SEED`.
 
 use vdc_check::{check, from_fn, prop_assert, Gen, TestRng};
-use vdc_dcsim::{DataCenter, HostCatalog, ProfileId, PueSeries, Server};
+use vdc_dcsim::{DataCenter, FleetSpec, HostCatalog, ProfileId, PueSeries, Server, SiteSpec};
 
 const CASES: u32 = 64;
 
@@ -147,6 +147,70 @@ fn sub_unity_and_non_finite_pue_are_rejected_everywhere() {
     });
     assert!(PueSeries::constant(f64::NAN).is_err());
     assert!(PueSeries::constant(f64::INFINITY).is_err());
+}
+
+/// A random multi-site fleet over one of the shipped catalogs: arbitrary
+/// site count, server counts, weighted sub-mixes of the catalog, and PUE
+/// series of random length/values — the space a hand-written `--fleet`
+/// file lives in.
+fn any_fleet() -> impl Gen<Value = FleetSpec> {
+    from_fn(|rng: &mut TestRng| {
+        let catalog = if rng.bool() {
+            HostCatalog::specpower()
+        } else {
+            HostCatalog::paper()
+        };
+        let n_sites = rng.usize_in(1, 4);
+        let sites = (0..n_sites)
+            .map(|i| {
+                let n_mix = rng.usize_in(1, catalog.len());
+                let mix = (0..n_mix)
+                    .map(|_| {
+                        (
+                            ProfileId::from_index(rng.usize_in(0, catalog.len() - 1)),
+                            rng.usize_in(1, 100) as u32,
+                        )
+                    })
+                    .collect();
+                let pue = PueSeries::from_samples(
+                    (0..rng.usize_in(1, 8))
+                        .map(|_| rng.f64_in(1.0, 3.0))
+                        .collect(),
+                )
+                .expect("samples in [1, 3] validate");
+                SiteSpec {
+                    name: format!("site-{i}"),
+                    n_servers: rng.usize_in(0, 500),
+                    mix,
+                    pue,
+                }
+            })
+            .collect();
+        FleetSpec::new(catalog, sites).expect("generated fleets validate")
+    })
+}
+
+#[test]
+fn fleet_spec_json_round_trips_bit_exactly() {
+    check(CASES, &any_fleet(), |spec| {
+        let doc = spec.to_json();
+        let parsed = FleetSpec::from_json_str(&doc);
+        prop_assert!(
+            parsed.is_ok(),
+            "round-trip parse failed: {:?}",
+            parsed.err()
+        );
+        let back = parsed.expect("checked above");
+        prop_assert!(
+            back == *spec,
+            "parsed fleet differs from the original (doc: {doc})"
+        );
+        // Equality covers every f64 via PartialEq; additionally pin the
+        // rendered document itself (shortest-round-trip floats re-render
+        // identically).
+        prop_assert!(back.to_json() == doc, "re-rendered document drifted");
+        Ok(())
+    });
 }
 
 #[test]

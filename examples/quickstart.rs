@@ -10,7 +10,8 @@
 use vdcpower::apptier::{AppSim, WorkloadProfile};
 use vdcpower::control::analysis::analyze_closed_loop;
 use vdcpower::control::{MpcConfig, ReferenceTrajectory};
-use vdcpower::core::controller::{identify_plant, IdentificationConfig, ResponseTimeController};
+use vdcpower::core::controller::{identify_plant, IdentificationConfig};
+use vdcpower::core::ControllerSpec;
 use vdcpower::dcsim::{CpuArbitrator, ServerSpec};
 
 fn main() {
@@ -67,12 +68,14 @@ fn main() {
         Err(e) => println!("  closed-loop analysis unavailable: {e}"),
     }
 
-    // 3. Build the MPC response-time controller with a 1000 ms set point
-    //    and run it against a fresh plant instance.
+    // 3. Build the paper's MPC tier controller through the controller seam
+    //    (swap `Mpc` for `Robust` or `cooling()` to ablate the law) with a
+    //    1000 ms set point, and run it against a fresh plant instance.
     let setpoint_ms = 1000.0;
     let period_s = 4.0;
-    let mut controller =
-        ResponseTimeController::new(model, setpoint_ms, period_s, &[1.0, 1.0]).unwrap();
+    let mut controller = ControllerSpec::Mpc
+        .build(&model, setpoint_ms, period_s, &[1.0, 1.0])
+        .unwrap();
     let mut plant = AppSim::new(profile, concurrency, &[1.0, 1.0], 99).unwrap();
 
     // The server hosting the web tier: a quad-core 3 GHz box whose CPU

@@ -7,6 +7,8 @@
 //! vdcpower largescale [--vms 500] [--optimizer ipac|pmapper|ipac-no-dvfs] [--samples 672]
 //!                     [--shards N]   (N worker threads; 0/default = host parallelism;
 //!                                     output is bit-identical for every N)
+//!                     [--fleet spec.json]  (heterogeneous host fleet from a
+//!                                           `FleetSpec` JSON file)
 //! vdcpower trace-gen  [--vms 100] [--samples 672] [--seed 1] --out trace.csv
 //! vdcpower trace-info --in trace.csv
 //! ```
@@ -30,6 +32,7 @@ use vdcpower::core::experiments::MeanStd;
 use vdcpower::core::largescale::{run_large_scale, LargeScaleConfig, OptimizerKind};
 use vdcpower::core::testbed::{Testbed, TestbedConfig};
 use vdcpower::core::RunOptions;
+use vdcpower::dcsim::FleetSpec;
 use vdcpower::telemetry::export::write_metrics;
 use vdcpower::telemetry::{Reporter, Telemetry};
 use vdcpower::trace::{generate_trace, trace_stats, TraceConfig, UtilizationTrace};
@@ -54,7 +57,8 @@ fn usage() -> ExitCode {
          \x20 identify    identify a response-time model and analyze the loop\n\
          \x20 testbed     run the 4-server / N-application testbed scenario\n\
          \x20 largescale  replay a synthetic trace under a power optimizer\n\
-         \x20             (--shards N fans the replay over worker threads)\n\
+         \x20             (--shards N fans the replay over worker threads;\n\
+         \x20              --fleet spec.json loads a heterogeneous host fleet)\n\
          \x20 trace-gen   generate a synthetic utilization trace as CSV\n\
          \x20 trace-info  summarize a trace CSV\n\
          global flags: --quiet/-q (warnings only), --verbose/-v (debug narration)\n\
@@ -207,6 +211,21 @@ fn cmd_largescale(args: &[String], reporter: &Reporter) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Optional fleet-spec file (see `FleetSpec::to_json` for the format):
+    // host mixes load from disk instead of recompiling the sweep.
+    let fleet = match arg_value(args, "--fleet") {
+        None => None,
+        Some(path) => match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| FleetSpec::from_json_str(&text).map_err(|e| e.to_string()))
+        {
+            Ok(spec) => Some(spec),
+            Err(e) => {
+                eprintln!("could not load fleet spec {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     reporter.info(&format!(
         "largescale: {n_vms} VMs, {samples} samples @ 15 min, optimizer {optimizer:?}"
     ));
@@ -219,6 +238,7 @@ fn cmd_largescale(args: &[String], reporter: &Reporter) -> ExitCode {
     let telemetry = Telemetry::enabled();
     let mut cfg = LargeScaleConfig::new(n_vms, optimizer);
     cfg.shards = shards;
+    cfg.fleet = fleet;
     match run_large_scale(
         &trace,
         &cfg,

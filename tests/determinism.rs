@@ -10,7 +10,7 @@
 
 use vdc_core::cosim::{run_cosim, CosimConfig, CosimResult};
 use vdc_core::largescale::{run_large_scale, LargeScaleConfig, OptimizerKind};
-use vdc_core::{run_large_scale_streaming, FaultPlan, RunOptions};
+use vdc_core::{run_large_scale_streaming, ControllerSpec, FaultPlan, RunOptions};
 use vdc_telemetry::Telemetry;
 use vdc_trace::{generate_trace, StreamingTrace, TraceConfig};
 
@@ -51,6 +51,52 @@ fn same_seed_runs_are_bit_identical() {
     );
     assert_eq!(a.total_energy_wh.to_bits(), b.total_energy_wh.to_bits());
     assert_eq!(a.migrations, b.migrations);
+}
+
+/// The controller seam's default-path pin: selecting the paper MPC
+/// *explicitly* — via `CosimConfig::controller` and again via the
+/// `RunOptions` override — must reproduce the implicit-default run bit
+/// for bit. The seam may add controllers, but `ControllerSpec::Mpc` is
+/// the pre-seam code path, not a near-copy of it.
+#[test]
+fn explicit_mpc_spec_is_bit_identical_to_the_default() {
+    let default = small_run(0xD5EED);
+    let trace = generate_trace(&TraceConfig {
+        n_vms: 12,
+        n_samples: 24,
+        interval_s: 900.0,
+        seed: 0xD5EED ^ 0x7ACE,
+    });
+    let cfg = CosimConfig {
+        n_apps: 6,
+        control_periods_per_sample: 2,
+        optimizer_period_samples: 8,
+        seed: 0xD5EED,
+        controller: ControllerSpec::Mpc,
+        ..Default::default()
+    };
+    let explicit = run_cosim(
+        &trace,
+        &cfg,
+        &RunOptions::default().with_controller(ControllerSpec::Mpc),
+    )
+    .expect("explicit-spec run");
+    assert_eq!(
+        bits(&default.power_series_w),
+        bits(&explicit.power_series_w),
+        "explicit ControllerSpec::Mpc perturbed the power trajectory"
+    );
+    assert_eq!(
+        bits(&default.response_series_ms),
+        bits(&explicit.response_series_ms),
+        "explicit ControllerSpec::Mpc perturbed the response trajectory"
+    );
+    assert_eq!(
+        default.total_energy_wh.to_bits(),
+        explicit.total_energy_wh.to_bits()
+    );
+    assert_eq!(default.migrations, explicit.migrations);
+    assert_eq!(default.final_placements, explicit.final_placements);
 }
 
 #[test]

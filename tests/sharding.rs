@@ -18,8 +18,8 @@ use vdc_churn::{AdmissionPolicy, ChurnConfig, ChurnWorkload};
 use vdc_core::churn::{run_churn, ChurnResult};
 use vdc_core::cosim::{run_cosim, CosimConfig, CosimResult};
 use vdc_core::largescale::{run_large_scale, LargeScaleConfig, LargeScaleResult, OptimizerKind};
-use vdc_core::{FaultConfig, FaultPlan, RunOptions};
-use vdc_dcsim::FleetSpec;
+use vdc_core::{ControllerSpec, FaultConfig, FaultPlan, RunOptions};
+use vdc_dcsim::{FleetSpec, PueSeries};
 use vdc_telemetry::Telemetry;
 use vdc_trace::{generate_trace, TraceConfig, UtilizationTrace};
 
@@ -125,6 +125,55 @@ fn cosim_is_bit_identical_across_shard_counts() {
             telemetry_state(&tel),
             "cosim shards={shards}: telemetry counters/SLO diverged"
         );
+    }
+}
+
+fn cosim_spec_at(
+    trace: &UtilizationTrace,
+    spec: ControllerSpec,
+    pue: &PueSeries,
+    shards: usize,
+) -> (CosimResult, Telemetry) {
+    let cfg = CosimConfig {
+        n_apps: 6,
+        control_periods_per_sample: 2,
+        optimizer_period_samples: 8,
+        seed: 0x5A4D,
+        ..Default::default()
+    };
+    let telemetry = Telemetry::enabled();
+    let opts = RunOptions::default()
+        .with_telemetry(&telemetry)
+        .with_shards(shards)
+        .with_controller(spec)
+        .with_pue(pue);
+    let result = run_cosim(trace, &cfg, &opts).expect("cosim runs");
+    (result, telemetry)
+}
+
+/// The controller seam must not weaken shard equivalence: the two
+/// non-default controllers — robust fixed-gain and cooling-coupled MPC,
+/// the latter with a stepped PUE feed actually steering its objective —
+/// produce different results than the paper MPC, but any *given* spec is
+/// bit-identical at every shard count.
+#[test]
+fn non_default_controllers_are_bit_identical_across_shard_counts() {
+    let trace = fast_trace(6, 0x7ACE);
+    let pue = PueSeries::from_samples(vec![1.25, 1.25, 1.85, 1.85, 1.25, 1.85])
+        .expect("PUE samples >= 1 validate");
+    for spec in [ControllerSpec::Robust, ControllerSpec::cooling()] {
+        let (baseline, base_tel) = cosim_spec_at(&trace, spec, &pue, 1);
+        let base_state = telemetry_state(&base_tel);
+        for shards in SHARD_COUNTS {
+            let (r, tel) = cosim_spec_at(&trace, spec, &pue, shards);
+            let ctx = format!("cosim {} shards={shards}", spec.name());
+            assert_cosim_identical(&baseline, &r, &ctx);
+            assert_eq!(
+                base_state,
+                telemetry_state(&tel),
+                "{ctx}: telemetry counters/SLO diverged"
+            );
+        }
     }
 }
 
